@@ -1,0 +1,396 @@
+package barytree_test
+
+// One benchmark per table/figure of the paper's evaluation (Section 4),
+// plus ablation benches for the design choices called out in DESIGN.md and
+// micro-benchmarks of the core primitives.
+//
+// The figure benches run the same harnesses as the cmd/fig* tools at
+// laptop-scale defaults and report the headline numbers as custom metrics
+// (modeled seconds, errors, speedups); run the cmd tools for the full
+// series at paper scale. Times reported by the model are deterministic, so
+// a single iteration is meaningful.
+
+import (
+	"io"
+	"testing"
+
+	"barytree"
+	"barytree/internal/core"
+	"barytree/internal/device"
+	"barytree/internal/dist"
+	"barytree/internal/kernel"
+	"barytree/internal/particle"
+	"barytree/internal/perfmodel"
+	"barytree/internal/rcb"
+	"barytree/internal/sweep"
+	"barytree/internal/tree"
+
+	"math/rand"
+)
+
+// BenchmarkFig2RCB regenerates Figure 2: recursive coordinate bisection of
+// the unit square into 4 and 6 partitions with equal areas.
+func BenchmarkFig2RCB(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := particle.NewSet(40000)
+	for i := 0; i < 40000; i++ {
+		pts.Append(rng.Float64(), rng.Float64(), 0, 1)
+	}
+	domain := pts.Bounds()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d4 := rcb.Partition(pts, 4, domain)
+		d6 := rcb.Partition(pts, 6, domain)
+		if i == 0 {
+			for r, box := range d4.Region {
+				sz := box.Size()
+				b.Logf("fig2a rank %d: area %.4f (want 0.25)", r, sz.X*sz.Y)
+			}
+			for r, box := range d6.Region {
+				sz := box.Size()
+				b.Logf("fig2b rank %d: area %.4f (want %.4f)", r, sz.X*sz.Y, 1.0/6)
+			}
+			b.Logf("fig2b first cut: dim=%d coord=%.4f ranks %d/%d",
+				d6.Cuts[0].Dim, d6.Cuts[0].Coord, d6.Cuts[0].LeftRanks, d6.Cuts[0].RightRanks)
+		}
+	}
+}
+
+// BenchmarkFig4TimeVsError regenerates Figure 4: single-GPU vs 6-core-CPU
+// run time against error for Coulomb and Yukawa over (theta, degree).
+func BenchmarkFig4TimeVsError(b *testing.B) {
+	cfg := sweep.DefaultFig4(60_000)
+	cfg.Degrees = []int{1, 3, 5, 7, 9}
+	cfg.BatchSize = 1500
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunFig4(cfg, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, v := range res.CheckShape() {
+				b.Errorf("shape violation: %s", v)
+			}
+			var maxSpeedup float64
+			for _, p := range res.Points {
+				if s := p.CPUTime / p.GPUTime; s > maxSpeedup {
+					maxSpeedup = s
+				}
+			}
+			b.ReportMetric(maxSpeedup, "max-gpu-speedup-x")
+			b.Logf("direct refs: cpu %.1fs gpu %.2fs (coulomb)", res.DirectCPU["coulomb"], res.DirectGPU["coulomb"])
+			for _, p := range res.Points {
+				b.Logf("%-8s theta=%.1f n=%-2d err=%.2e cpu=%8.2fs gpu=%7.4fs",
+					p.Kernel, p.Theta, p.Degree, p.Err, p.CPUTime, p.GPUTime)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5WeakScaling regenerates Figure 5: run time at fixed
+// particles per GPU as GPUs grow 1 -> 32.
+func BenchmarkFig5WeakScaling(b *testing.B) {
+	cfg := sweep.DefaultFig5(512)
+	cfg.GPUs = []int{1, 2, 4, 8}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunFig5(cfg, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, v := range res.CheckShape() {
+				b.Errorf("shape violation: %s", v)
+			}
+			for _, p := range res.Points {
+				b.Logf("%-8s perGPU=%-8d gpus=%-3d total=%7.3fs", p.Kernel, p.PerGPU, p.GPUs, p.Times.Total())
+			}
+		}
+	}
+}
+
+// BenchmarkFig6StrongScaling regenerates Figure 6(a,b): run time and
+// efficiency at fixed N as GPUs grow.
+func BenchmarkFig6StrongScaling(b *testing.B) {
+	cfg := sweep.DefaultFig6(128)
+	cfg.GPUs = []int{1, 2, 4, 8, 16}
+	cfg.Kernels = []kernel.Kernel{kernel.Coulomb{}}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunFig6(cfg, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, v := range res.CheckShape() {
+				b.Errorf("shape violation: %s", v)
+			}
+			var lastEff float64
+			for _, p := range res.Points {
+				b.Logf("%-8s N=%-8d gpus=%-3d total=%7.3fs eff=%.0f%%",
+					p.Kernel, p.N, p.GPUs, p.Times.Total(), 100*p.Efficiency)
+				lastEff = p.Efficiency
+			}
+			b.ReportMetric(100*lastEff, "efficiency-%")
+		}
+	}
+}
+
+// BenchmarkFig6Phases regenerates Figure 6(c,d): the setup / precompute /
+// compute phase distribution versus GPU count.
+func BenchmarkFig6Phases(b *testing.B) {
+	cfg := sweep.DefaultFig6(128)
+	cfg.Sizes = cfg.Sizes[1:] // the larger problem only
+	cfg.GPUs = []int{1, 4, 16}
+	cfg.Kernels = []kernel.Kernel{kernel.Coulomb{}}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunFig6(cfg, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range res.Points {
+				tot := p.Times.Total()
+				b.Logf("gpus=%-3d setup=%4.1f%% precompute=%4.1f%% compute=%4.1f%% (total %.3fs)",
+					p.GPUs,
+					100*p.Times[perfmodel.PhaseSetup]/tot,
+					100*p.Times[perfmodel.PhasePrecompute]/tot,
+					100*p.Times[perfmodel.PhaseCompute]/tot, tot)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAsyncStreams reproduces the Section 3.2 claim that
+// asynchronous streams reduce compute time (~25% in the paper's 1M case).
+func BenchmarkAblationAsyncStreams(b *testing.B) {
+	cfg := sweep.DefaultAblation(100_000)
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunAsyncStreams(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res.Reduction(), "reduction-%")
+			b.Logf("sync=%.4fs async=%.4fs reduction=%.0f%%", res.SyncCompute, res.AsyncCompute, 100*res.Reduction())
+		}
+	}
+}
+
+// BenchmarkAblationBatchMAC quantifies the batch-level MAC trade-off of
+// Section 3.2: slightly more admitted work, far fewer MAC tests, no
+// per-target divergence.
+func BenchmarkAblationBatchMAC(b *testing.B) {
+	cfg := sweep.DefaultAblation(100_000)
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunBatchMAC(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*res.WorkOverhead(), "work-overhead-%")
+			b.Logf("batched=%d per-target=%d (overhead %.1f%%), MAC tests %d vs %d",
+				res.Batched.TotalInteractions(), res.PerTarget.TotalInteractions(),
+				100*res.WorkOverhead(), res.Batched.MACTests, res.PerTarget.MACTests)
+		}
+	}
+}
+
+// BenchmarkAblationClusterSizeCheck verifies the (n+1)^3 < N_C condition:
+// without it, small clusters get approximated, costing more work for no
+// accuracy gain.
+func BenchmarkAblationClusterSizeCheck(b *testing.B) {
+	cfg := sweep.DefaultAblation(30_000)
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunSizeCheck(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("with check: %d interactions err=%.2e; without: %d err=%.2e",
+				res.WithCheck.TotalInteractions(), res.ErrWith,
+				res.WithoutCheck.TotalInteractions(), res.ErrWithout)
+		}
+	}
+}
+
+// BenchmarkAblationLeafSize sweeps NB = NL, showing the interior optimum
+// that motivates the paper's ~2000 (Titan V) / ~4000 (P100).
+func BenchmarkAblationLeafSize(b *testing.B) {
+	cfg := sweep.DefaultAblation(100_000)
+	for i := 0; i < b.N; i++ {
+		pts, err := sweep.RunLeafSizeSweep(cfg, []int{250, 1000, 4000, 16000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range pts {
+				b.Logf("NL=NB=%-6d gpu=%8.4fs launches=%d", p.LeafSize, p.GPUTime, p.Launches)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAspectRatio compares the sqrt(2) splitting rule against
+// pure octant splits on a skewed subdomain (Section 3.1).
+func BenchmarkAblationAspectRatio(b *testing.B) {
+	cfg := sweep.DefaultAblation(50_000)
+	cfg.Params.LeafSize, cfg.Params.BatchSize = 500, 500
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunAspectRatio(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("sqrt2 rule: %d interactions, max leaf AR %.2f; octants: %d, AR %.2f",
+				res.WithRule.TotalInteractions(), res.MaxAspectWithRule,
+				res.OctantsOnly.TotalInteractions(), res.MaxAspectOctants)
+		}
+	}
+}
+
+// BenchmarkExtensionMixedPrecision measures the fp32 extension (paper
+// future work): ~2x modeled kernel throughput for ~7 digits of accuracy.
+func BenchmarkExtensionMixedPrecision(b *testing.B) {
+	cfg := sweep.DefaultAblation(20_000)
+	cfg.Params.LeafSize, cfg.Params.BatchSize = 500, 500
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunMixedPrecision(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("fp64 err=%.2e %.4fs; fp32 err=%.2e %.4fs",
+				res.ErrFP64, res.TimeFP64, res.ErrFP32, res.TimeFP32)
+		}
+	}
+}
+
+// BenchmarkExtensionCommOverlap measures the comm/compute overlap
+// extension (paper future work) on the distributed backend.
+func BenchmarkExtensionCommOverlap(b *testing.B) {
+	cfg := sweep.DefaultAblation(50_000)
+	cfg.Params.LeafSize, cfg.Params.BatchSize = 1000, 1000
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.RunCommOverlap(cfg, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("plain: %v", res.Plain)
+			b.Logf("overlapped: %v", res.Overlapped)
+		}
+	}
+}
+
+// BenchmarkExtensionVariants compares the three treecode schemes (the
+// paper's particle-cluster BLTC vs the cluster-particle and
+// cluster-cluster future-work variants) on identical parameters: same
+// accuracy class, different interaction counts.
+func BenchmarkExtensionVariants(b *testing.B) {
+	pts := barytree.UniformCube(30_000, 12)
+	p := barytree.Params{Theta: 0.7, Degree: 4, LeafSize: 700, BatchSize: 700}
+	ref := barytree.DirectSumAt(barytree.Coulomb(), pts, barytree.SampleIndices(30_000, 300, 13), pts)
+	sample := barytree.SampleIndices(30_000, 300, 13)
+	for i := 0; i < b.N; i++ {
+		for _, v := range []barytree.TreecodeVariant{barytree.ParticleCluster, barytree.ClusterParticle, barytree.ClusterCluster} {
+			phi, err := barytree.SolveVariant(v, barytree.Coulomb(), pts, pts, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				approx := make([]float64, len(sample))
+				for j, idx := range sample {
+					approx[j] = phi[idx]
+				}
+				b.Logf("%s: err=%.2e", v, barytree.RelErr2(ref, approx))
+			}
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core primitives (real wall-clock). ---
+
+func BenchmarkTreeBuild100k(b *testing.B) {
+	pts := barytree.UniformCube(100_000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Build(pts, 2000)
+	}
+}
+
+func BenchmarkBatchBuild100k(b *testing.B) {
+	pts := barytree.UniformCube(100_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.BuildBatches(pts, 2000)
+	}
+}
+
+func BenchmarkModifiedCharges(b *testing.B) {
+	pts := barytree.UniformCube(50_000, 2)
+	t := tree.Build(pts, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cd := core.NewClusterData(t, 8)
+		cd.ComputeCharges(t, 0)
+	}
+}
+
+func BenchmarkTreecodeCPU50k(b *testing.B) {
+	pts := barytree.UniformCube(50_000, 3)
+	p := barytree.Params{Theta: 0.8, Degree: 6, LeafSize: 1000, BatchSize: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := barytree.Solve(barytree.Coulomb(), pts, pts, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreecodeDevice50k(b *testing.B) {
+	pts := barytree.UniformCube(50_000, 3)
+	p := barytree.Params{Theta: 0.8, Degree: 6, LeafSize: 1000, BatchSize: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := barytree.SolveDevice(barytree.Coulomb(), pts, pts, p, barytree.DeviceConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDirectSum5k(b *testing.B) {
+	pts := barytree.UniformCube(5000, 4)
+	k := barytree.Coulomb()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		barytree.DirectSum(k, pts, pts)
+	}
+}
+
+func BenchmarkDistributed4Ranks(b *testing.B) {
+	pts := barytree.UniformCube(20_000, 5)
+	cfg := dist.Config{
+		Ranks:  4,
+		Params: core.Params{Theta: 0.8, Degree: 5, LeafSize: 500, BatchSize: 500},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.Run(cfg, kernel.Coulomb{}, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeviceSimulatorDrain(b *testing.B) {
+	// Cost of the fluid-flow stream scheduler itself at 10k launches.
+	spec := perfmodel.TitanV()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := device.New(spec, 1)
+		d.BeginPhase(0)
+		for j := 0; j < 10_000; j++ {
+			d.Launch(device.LaunchSpec{Stream: j % 4, Grid: 2000, Block: 729, FlopEq: 1e7}, float64(j)*1e-5, nil)
+		}
+		d.Drain()
+	}
+}

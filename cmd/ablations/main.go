@@ -1,0 +1,28 @@
+// Command ablations runs the design-choice ablation studies of DESIGN.md:
+// asynchronous streams (Section 3.2's ~25% claim), batch-level vs
+// per-target MAC, the (n+1)^3 < N_C cluster-size check, the batch/leaf
+// size optimum, the sqrt(2) aspect-ratio splitting rule, and the two
+// future-work extensions (mixed precision, comm/compute overlap).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"barytree/internal/sweep"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 200_000, "workload size (paper's Figure 4 uses 1000000)")
+		ranks = flag.Int("ranks", 4, "ranks for the comm-overlap study")
+	)
+	flag.Parse()
+
+	cfg := sweep.DefaultAblation(*n)
+	if err := sweep.RenderAblations(cfg, *ranks, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ablations:", err)
+		os.Exit(1)
+	}
+}

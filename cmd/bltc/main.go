@@ -1,0 +1,129 @@
+// Command bltc runs the barycentric Lagrange treecode end-to-end on a
+// synthetic particle distribution and reports timing and (optionally)
+// accuracy against direct summation.
+//
+// Examples:
+//
+//	bltc -n 100000 -kernel coulomb -theta 0.8 -degree 8 -backend gpu -check
+//	bltc -n 200000 -kernel yukawa -kappa 0.5 -backend dist -ranks 8
+//	bltc -n 50000 -distribution plummer -kernel softened -backend cpu -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"barytree"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 100_000, "number of particles")
+		kname    = flag.String("kernel", "coulomb", "kernel: coulomb|yukawa|gaussian|multiquadric|softened")
+		kappa    = flag.Float64("kappa", 0.5, "Yukawa inverse Debye length")
+		theta    = flag.Float64("theta", 0.8, "MAC opening parameter")
+		degree   = flag.Int("degree", 8, "interpolation degree n")
+		leaf     = flag.Int("leaf", 2000, "source-tree leaf size NL")
+		batch    = flag.Int("batch", 0, "target batch size NB (default: NL)")
+		backend  = flag.String("backend", "gpu", "backend: cpu|gpu|dist")
+		gpuModel = flag.String("gpu", "titanv", "gpu model: titanv|p100")
+		ranks    = flag.Int("ranks", 4, "ranks/GPUs for -backend dist")
+		distrib  = flag.String("distribution", "cube", "particles: cube|plummer|blob")
+		seed     = flag.Int64("seed", 42, "random seed")
+		check    = flag.Bool("check", false, "measure error against (sampled) direct summation")
+		samples  = flag.Int("samples", 1000, "error sample size for -check")
+		fp32     = flag.Bool("fp32", false, "single-precision device kernels")
+	)
+	flag.Parse()
+
+	if *batch == 0 {
+		*batch = *leaf
+	}
+	p := barytree.Params{Theta: *theta, Degree: *degree, LeafSize: *leaf, BatchSize: *batch}
+
+	var k barytree.Kernel
+	switch strings.ToLower(*kname) {
+	case "coulomb":
+		k = barytree.Coulomb()
+	case "yukawa":
+		k = barytree.Yukawa(*kappa)
+	case "gaussian":
+		k = barytree.Gaussian(1.0)
+	case "multiquadric":
+		k = barytree.Multiquadric(0.5)
+	case "softened":
+		k = barytree.RegularizedCoulomb(0.01)
+	default:
+		log.Fatalf("unknown kernel %q", *kname)
+	}
+
+	var pts *barytree.Particles
+	switch strings.ToLower(*distrib) {
+	case "cube":
+		pts = barytree.UniformCube(*n, *seed)
+	case "plummer":
+		pts = barytree.PlummerSphere(*n, 1.0, *seed)
+	case "blob":
+		pts = barytree.GaussianBlob(*n, 0.5, *seed)
+	default:
+		log.Fatalf("unknown distribution %q", *distrib)
+	}
+
+	gm := barytree.TitanV
+	if strings.ToLower(*gpuModel) == "p100" {
+		gm = barytree.P100
+	}
+
+	fmt.Printf("BLTC: N=%d kernel=%s theta=%g degree=%d NL=%d NB=%d backend=%s\n",
+		*n, k.Name(), *theta, *degree, *leaf, *batch, *backend)
+
+	var phi []float64
+	var times barytree.PhaseTimes
+	switch strings.ToLower(*backend) {
+	case "cpu":
+		res, err := barytree.SolveCPU(k, pts, pts, p, 0)
+		exitOn(err)
+		phi, times = res.Phi, res.Times
+		fmt.Printf("modeled times (6-core Xeon X5650): %v\n", times)
+	case "gpu":
+		res, err := barytree.SolveDevice(k, pts, pts, p, barytree.DeviceConfig{
+			GPU: gm, SinglePrecision: *fp32,
+		})
+		exitOn(err)
+		phi, times = res.Phi, res.Times
+		fmt.Printf("modeled times (%s): %v\n", *gpuModel, times)
+	case "dist":
+		res, err := barytree.SolveDistributed(k, pts, p, barytree.DistributedConfig{
+			Ranks: *ranks, GPU: gm,
+		})
+		exitOn(err)
+		phi, times = res.Phi, res.Times
+		fmt.Printf("modeled times (%d x %s, per-phase max over ranks): %v\n", *ranks, *gpuModel, times)
+		for r, rt := range res.RankTimes {
+			fmt.Printf("  rank %2d: %v\n", r, rt)
+		}
+	default:
+		log.Fatalf("unknown backend %q", *backend)
+	}
+
+	if *check {
+		sample := barytree.SampleIndices(*n, *samples, *seed+1)
+		ref := barytree.DirectSumAt(k, pts, sample, pts)
+		got := make([]float64, len(sample))
+		for i, idx := range sample {
+			got[i] = phi[idx]
+		}
+		e := barytree.RelErr2(ref, got)
+		fmt.Printf("relative 2-norm error (at %d sampled targets): %.3e\n", len(sample), e)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bltc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+// Command variants compares the three barycentric treecode schemes — the
+// paper's particle-cluster BLTC and the cluster-particle / cluster-cluster
+// schemes its conclusions list as future work — on the same workload:
+// identical kernel, parameters and particles; reported are sampled errors
+// and interaction counts by type.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"barytree"
+	"barytree/internal/core"
+	"barytree/internal/kernel"
+	"barytree/internal/metrics"
+	"barytree/internal/variants"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 50_000, "number of particles")
+		theta  = flag.Float64("theta", 0.7, "MAC parameter")
+		degree = flag.Int("degree", 4, "interpolation degree")
+		leaf   = flag.Int("leaf", 0, "leaf/batch size (0: snapped to keep leaves above (n+1)^3)")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *leaf == 0 {
+		np := (*degree + 1) * (*degree + 1) * (*degree + 1)
+		*leaf = snap(*n, 3*np)
+	}
+	p := core.Params{Theta: *theta, Degree: *degree, LeafSize: *leaf, BatchSize: *leaf}
+	pts := barytree.UniformCube(*n, *seed)
+	k := kernel.Coulomb{}
+
+	sample := barytree.SampleIndices(*n, 500, *seed+1)
+	ref := barytree.DirectSumAt(k, pts, sample, pts)
+
+	fmt.Printf("N=%d theta=%g degree=%d NL=NB=%d\n\n", *n, *theta, *degree, *leaf)
+	fmt.Printf("%-3s %10s %14s %14s %14s %14s %14s\n",
+		"", "err", "total", "PP", "PC", "CP", "CC")
+	for _, method := range []string{"pc", "cp", "cc"} {
+		res, err := variants.Run(method, k, pts, pts, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx := make([]float64, len(sample))
+		for i, idx := range sample {
+			approx[i] = res.Phi[idx]
+		}
+		e := metrics.RelErr2(ref, approx)
+		st := res.Stats
+		fmt.Printf("%-3s %10.2e %14d %14d %14d %14d %14d\n",
+			method, e, st.Total(), st.PPInteractions, st.PCInteractions,
+			st.CPInteractions, st.CCInteractions)
+	}
+	fmt.Println("\nPP = direct particle-particle, PC = particle with source proxies,")
+	fmt.Println("CP = target proxies with particles, CC = proxy with proxy.")
+}
+
+// snap picks a leaf bound so octree leaves land near the target population
+// (leaves hold ~N/8^d particles for integer depth d).
+func snap(n, target int) int {
+	pop := float64(n)
+	for pop > float64(target)*2.8284 {
+		pop /= 8
+	}
+	leaf := int(1.5 * pop)
+	if leaf < target {
+		leaf = target
+	}
+	return leaf
+}

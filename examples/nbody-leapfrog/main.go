@@ -1,0 +1,96 @@
+// N-body dynamics: kick-drift-kick leapfrog integration of a self-
+// gravitating cluster with treecode forces. This is the canonical
+// downstream use of a gravitational treecode (Barnes & Hut's original
+// application): every step needs the field at every particle, computed
+// here via SolveWithField — the potential gradient obtained from the same
+// modified charges as the potential itself.
+//
+// The demo integrates a Plummer cluster for a few dynamical times and
+// reports total-energy drift, the standard quality metric for N-body
+// integrators: with a symplectic integrator and accurate forces the drift
+// stays small and non-secular.
+//
+//	go run ./examples/nbody-leapfrog
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"barytree"
+)
+
+func main() {
+	const (
+		n     = 4_000
+		eps   = 0.05 // Plummer softening
+		dt    = 0.01
+		steps = 100
+	)
+	stars := barytree.PlummerSphere(n, 1.0, 17)
+	k := barytree.RegularizedCoulomb(eps)
+	params := barytree.Params{Theta: 0.6, Degree: 6, LeafSize: 300, BatchSize: 300}
+
+	// Cold-ish start: small random velocities (the cluster contracts and
+	// oscillates; energy must still be conserved).
+	vx := make([]float64, n)
+	vy := make([]float64, n)
+	vz := make([]float64, n)
+
+	field := func() *barytree.FieldResult {
+		f, err := barytree.SolveWithField(k, stars, stars, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+
+	energy := func(f *barytree.FieldResult) (kin, pot float64) {
+		for i := 0; i < n; i++ {
+			m := stars.Q[i]
+			kin += 0.5 * m * (vx[i]*vx[i] + vy[i]*vy[i] + vz[i]*vz[i])
+			pot -= 0.5 * m * f.Phi[i] // gravity: U = -1/2 sum m_i phi_i
+		}
+		return kin, pot
+	}
+
+	f := field()
+	k0, p0 := energy(f)
+	e0 := k0 + p0
+	fmt.Printf("step %3d: K=%+.5f U=%+.5f E=%+.6f\n", 0, k0, p0, e0)
+
+	var maxDrift float64
+	for s := 1; s <= steps; s++ {
+		// Kick (half): a = -grad phi (attractive; phi > 0 for kernel 1/r).
+		for i := 0; i < n; i++ {
+			vx[i] += 0.5 * dt * f.GX[i]
+			vy[i] += 0.5 * dt * f.GY[i]
+			vz[i] += 0.5 * dt * f.GZ[i]
+		}
+		// Drift.
+		for i := 0; i < n; i++ {
+			stars.X[i] += dt * vx[i]
+			stars.Y[i] += dt * vy[i]
+			stars.Z[i] += dt * vz[i]
+		}
+		// New forces (tree rebuilt: positions moved).
+		f = field()
+		// Kick (half).
+		for i := 0; i < n; i++ {
+			vx[i] += 0.5 * dt * f.GX[i]
+			vy[i] += 0.5 * dt * f.GY[i]
+			vz[i] += 0.5 * dt * f.GZ[i]
+		}
+		if s%20 == 0 {
+			kin, pot := energy(f)
+			drift := math.Abs((kin + pot - e0) / e0)
+			if drift > maxDrift {
+				maxDrift = drift
+			}
+			fmt.Printf("step %3d: K=%+.5f U=%+.5f E=%+.6f  |dE/E|=%.2e\n", s, kin, pot, kin+pot, drift)
+		}
+	}
+	fmt.Printf("\nmax relative energy drift over %d steps: %.2e\n", steps, maxDrift)
+	fmt.Println("(leapfrog is symplectic: with accurate treecode forces the drift is small and bounded)")
+}

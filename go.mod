@@ -1,0 +1,3 @@
+module barytree
+
+go 1.22

@@ -1,0 +1,82 @@
+package chebyshev
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBasisPartitionOfUnity: for any evaluation point inside or outside
+// the interval, the barycentric Lagrange basis sums to exactly 1 (up to
+// rounding) or hits a Kronecker delta at a node — never NaN/Inf.
+func FuzzBasisPartitionOfUnity(f *testing.F) {
+	f.Add(uint8(4), 0.25)
+	f.Add(uint8(1), -1.0)
+	f.Add(uint8(13), 1.0)
+	f.Add(uint8(8), 0.0)
+	f.Add(uint8(6), 3.5) // mild extrapolation point
+	f.Fuzz(func(t *testing.T, degRaw uint8, x float64) {
+		// The basis is only contractually valid inside or near the
+		// interval (see BasisAt): the treecode evaluates it at particles
+		// inside the cluster box. Allow mild extrapolation; far outside,
+		// the denominator sum underflows by design of the formula.
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 4 {
+			t.Skip()
+		}
+		n := 1 + int(degRaw)%16
+		g := NewGrid1D(n, -1, 1)
+		dst := make([]float64, n+1)
+		g.BasisAt(x, dst)
+		var sum, sumAbs float64
+		for _, v := range dst {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("n=%d x=%g: non-finite basis value %g", n, x, v)
+			}
+			sum += v
+			sumAbs += math.Abs(v)
+		}
+		// Partition of unity: sum L_k(x) = 1 identically. The attainable
+		// accuracy scales with the conditioning sum |L_k(x)| — O(1) inside
+		// the interval, exponentially large under extrapolation.
+		tol := 1e-12*sumAbs*float64(n+1) + 1e-10
+		if math.Abs(sum-1) > tol {
+			t.Fatalf("n=%d x=%g: basis sums to %.15g (cond %.3g)", n, x, sum, sumAbs)
+		}
+	})
+}
+
+// FuzzInterpolateLinearExact: degree-n interpolation reproduces an
+// affine function exactly for any interval and evaluation point.
+func FuzzInterpolateLinearExact(f *testing.F) {
+	f.Add(uint8(3), 0.0, 1.0, 0.5, 2.0, -1.0)
+	f.Add(uint8(9), -5.0, 5.0, 4.9, 0.25, 3.0)
+	f.Fuzz(func(t *testing.T, degRaw uint8, a, b, x, slope, off float64) {
+		for _, v := range []float64{a, b, x, slope, off} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		if math.Abs(b-a) < 1e-9 {
+			t.Skip()
+		}
+		// Stay inside or near the interval (the treecode's regime; far
+		// extrapolation loses digits to conditioning by design of the
+		// formula).
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		span := hi - lo
+		if x < lo-span/2 || x > hi+span/2 {
+			t.Skip()
+		}
+		n := 1 + int(degRaw)%12
+		g := NewGrid1D(n, a, b)
+		vals := make([]float64, n+1)
+		for k, s := range g.Points {
+			vals[k] = slope*s + off
+		}
+		got := g.Interpolate(vals, x)
+		want := slope*x + off
+		scale := math.Abs(want) + math.Abs(slope)*(math.Abs(a)+math.Abs(b)+math.Abs(x)) + 1
+		if math.Abs(got-want) > 1e-8*scale*float64(n) {
+			t.Fatalf("n=%d [%g,%g] x=%g: interp %.15g want %.15g", n, a, b, x, got, want)
+		}
+	})
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+
+	"barytree/internal/chebyshev"
+	"barytree/internal/particle"
+	"barytree/internal/tree"
+)
+
+// ClusterData holds, for every node of a source tree, the tensor-product
+// Chebyshev grid over the node's (minimal) bounding box, the flattened
+// interpolation-point coordinates, and — once a charge pass has run — the
+// modified charges q-hat of equation (12).
+type ClusterData struct {
+	Degree int
+	Grids  []chebyshev.Grid3D
+	// PX/PY/PZ[i] are the flattened coordinates of node i's (n+1)^3
+	// interpolation points in chebyshev.Grid3D flat-index order.
+	PX, PY, PZ [][]float64
+	// Qhat[i] are node i's modified charges, nil before a charge pass.
+	Qhat [][]float64
+}
+
+// NewClusterData lays out degree-n interpolation grids for every node of t.
+// Modified charges are left nil; call ComputeCharges (or run a driver) to
+// fill them.
+func NewClusterData(t *tree.Tree, degree int) *ClusterData {
+	n := len(t.Nodes)
+	cd := &ClusterData{
+		Degree: degree,
+		Grids:  make([]chebyshev.Grid3D, n),
+		PX:     make([][]float64, n),
+		PY:     make([][]float64, n),
+		PZ:     make([][]float64, n),
+		Qhat:   make([][]float64, n),
+	}
+	for i := range t.Nodes {
+		g := chebyshev.NewGrid3D(degree, t.Nodes[i].Box)
+		cd.Grids[i] = g
+		cd.PX[i], cd.PY[i], cd.PZ[i] = g.FlattenedPoints()
+	}
+	return cd
+}
+
+// chargeWork returns the modeled flop-equivalents of the two preprocessing
+// kernels for a cluster of nc particles at degree n: the first kernel is
+// O((n+1)*nc) (three denominator sums per particle), the second is
+// O((n+1)^3*nc) (one product term per particle per interpolation point).
+func chargeWork(n, nc int) (pass1, pass2 float64) {
+	m := float64(n + 1)
+	pass1 = float64(nc) * (6*m + 12)
+	pass2 = float64(nc) * 4 * m * m * m
+	return pass1, pass2
+}
+
+// clusterScratch holds the per-particle barycentric factors of the first
+// preprocessing kernel: t*[j][k] = w_k/(y_j - s_k) per dimension (with
+// removable singularities resolved to Kronecker deltas), and the
+// intermediate charges q-tilde of equation (14).
+type clusterScratch struct {
+	tx, ty, tz [][]float64
+	qt         []float64
+}
+
+func newClusterScratch(nc int) *clusterScratch {
+	return &clusterScratch{
+		tx: make([][]float64, nc),
+		ty: make([][]float64, nc),
+		tz: make([][]float64, nc),
+		qt: make([]float64, nc),
+	}
+}
+
+// pass1Particle computes the intermediate quantity q-tilde (equation (14))
+// and the barycentric factors for the j-th particle of node nd, mirroring
+// one thread block of the first preprocessing kernel.
+func (cd *ClusterData) pass1Particle(src *particle.Set, nd *tree.Node, ni, j int, s *clusterScratch) {
+	g := cd.Grids[ni]
+	m := cd.Degree + 1
+	p := nd.Lo + j
+	tx, dx := barycentricFactors(g.Dims[0], src.X[p], m)
+	ty, dy := barycentricFactors(g.Dims[1], src.Y[p], m)
+	tz, dz := barycentricFactors(g.Dims[2], src.Z[p], m)
+	s.tx[j], s.ty[j], s.tz[j] = tx, ty, tz
+	s.qt[j] = src.Q[p] / (dx * dy * dz)
+}
+
+// barycentricFactors returns the vector t_k = w_k/(x - s_k) and its sum d
+// for a 1D grid. If x coincides with a node within the singularity
+// tolerance, t becomes the Kronecker delta at that node and d = 1, which
+// enforces L_k(x) = delta exactly (Section 2.3 of the paper).
+func barycentricFactors(g chebyshev.Grid1D, x float64, m int) (t []float64, d float64) {
+	t = make([]float64, m)
+	for k := 0; k < m; k++ {
+		diff := x - g.Points[k]
+		if math.Abs(diff) <= chebyshev.SingularityTol {
+			for i := range t {
+				t[i] = 0
+			}
+			t[k] = 1
+			return t, 1
+		}
+		t[k] = g.Weights[k] / diff
+		d += t[k]
+	}
+	return t, d
+}
+
+// pass2Point computes the modified charge q-hat at the flat-index-`block`
+// Chebyshev point of node ni from the intermediate quantities
+// (equation (15)), mirroring one thread block of the second preprocessing
+// kernel (threads over particles, reduction at the end).
+func (cd *ClusterData) pass2Point(ni int, s *clusterScratch, block int, qhat []float64) {
+	m := cd.Degree + 1
+	k3 := block % m
+	k2 := (block / m) % m
+	k1 := block / (m * m)
+	var sum float64
+	for j := range s.qt {
+		sum += s.tx[j][k1] * s.ty[j][k2] * s.tz[j][k3] * s.qt[j]
+	}
+	qhat[block] = sum
+}
+
+// computeChargesNode fills Qhat[ni] on the host (both passes, serial).
+func (cd *ClusterData) computeChargesNode(src *particle.Set, nd *tree.Node, ni int) {
+	nc := nd.Count()
+	s := newClusterScratch(nc)
+	for j := 0; j < nc; j++ {
+		cd.pass1Particle(src, nd, ni, j, s)
+	}
+	np := cd.Grids[ni].NumPoints()
+	qhat := make([]float64, np)
+	for b := 0; b < np; b++ {
+		cd.pass2Point(ni, s, b, qhat)
+	}
+	cd.Qhat[ni] = qhat
+}
+
+// ComputeCharges fills the modified charges of every cluster on the host
+// using up to `workers` goroutines (workers <= 0 selects a sensible
+// default). It returns the total modeled flop-equivalents of the work.
+func (cd *ClusterData) ComputeCharges(t *tree.Tree, workers int) float64 {
+	flops := cd.TotalChargeWork(t)
+	parallelForNodes(len(t.Nodes), workers, func(i int) {
+		cd.computeChargesNode(t.Particles, &t.Nodes[i], i)
+	})
+	return flops
+}
+
+// TotalChargeWork returns the modeled flop-equivalents of a full charge
+// pass over tree t without executing it.
+func (cd *ClusterData) TotalChargeWork(t *tree.Tree) float64 {
+	var flops float64
+	for i := range t.Nodes {
+		p1, p2 := chargeWork(cd.Degree, t.Nodes[i].Count())
+		flops += p1 + p2
+	}
+	return flops
+}
+
+// ChargesBytes returns the total size in bytes of all modified-charge
+// arrays (the DtH traffic after the precompute phase).
+func (cd *ClusterData) ChargesBytes() int64 {
+	var n int64
+	for _, g := range cd.Grids {
+		n += int64(g.NumPoints()) * 8
+	}
+	return n
+}

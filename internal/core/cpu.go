@@ -1,0 +1,143 @@
+package core
+
+import (
+	"time"
+
+	"barytree/internal/interaction"
+	"barytree/internal/kernel"
+	"barytree/internal/perfmodel"
+)
+
+// Result is the output of a treecode run.
+type Result struct {
+	// Phi holds the potentials in the caller's original target order.
+	Phi []float64
+	// Times are the modeled phase durations (the paper's setup /
+	// precompute / compute split) on the modeled architecture.
+	Times perfmodel.PhaseTimes
+	// Wall are the measured wall-clock phase durations of this process
+	// (host execution of the functional algorithm), for sanity checking;
+	// all reported figures use Times.
+	Wall perfmodel.PhaseTimes
+	// Interactions are the interaction-list statistics of the run.
+	Interactions interaction.Stats
+}
+
+// CPUOptions configure the CPU driver.
+type CPUOptions struct {
+	// Workers is the number of goroutines parallelizing over target
+	// batches, the analogue of the paper's OpenMP threads (one batch's
+	// interaction list per thread). 0 selects GOMAXPROCS; 1 is serial.
+	Workers int
+	// Spec is the modeled CPU. Zero value selects the paper's 6-core
+	// Xeon X5650.
+	Spec perfmodel.CPUSpec
+}
+
+func (o *CPUOptions) defaults() {
+	if o.Spec.Cores == 0 {
+		o.Spec = perfmodel.XeonX5650()
+	}
+	if o.Workers == 0 {
+		o.Workers = o.Spec.Cores
+	}
+}
+
+// RunCPU evaluates the treecode plan on the CPU: modified charges for every
+// source cluster, then each batch's interaction list (direct sums for
+// near-field leaves, barycentric approximations for well-separated
+// clusters), parallelized over batches.
+func RunCPU(pl *Plan, k kernel.Kernel, opt CPUOptions) *Result {
+	opt.defaults()
+	res := &Result{Interactions: pl.Lists.Stats}
+	rate := opt.Spec.ParallelFlopRate()
+
+	// Setup phase (already executed during NewPlan; modeled from counters).
+	res.Times[perfmodel.PhaseSetup] = pl.SetupWork(opt.Spec)
+
+	// Precompute phase: modified charges.
+	start := time.Now()
+	chargeFlops := pl.Clusters.ComputeCharges(pl.Sources, opt.Workers)
+	res.Wall[perfmodel.PhasePrecompute] = time.Since(start).Seconds()
+	res.Times[perfmodel.PhasePrecompute] = chargeFlops / rate
+
+	// Compute phase: walk every batch's interaction list.
+	start = time.Now()
+	phiBatch := make([]float64, pl.Batches.Targets.Len())
+	parallelForNodes(len(pl.Batches.Batches), opt.Workers, func(bi int) {
+		evalBatchLists(pl, k, bi, phiBatch)
+	})
+	res.Wall[perfmodel.PhaseCompute] = time.Since(start).Seconds()
+	res.Times[perfmodel.PhaseCompute] = computeFlops(pl.Lists.Stats, k, kernel.ArchCPU) / rate
+
+	// Map back to the caller's target order.
+	res.Phi = make([]float64, len(phiBatch))
+	pl.Batches.Perm.ScatterInto(res.Phi, phiBatch)
+	return res
+}
+
+// RunComputeOnly evaluates every batch's interaction list into phi (batch
+// target order, length = number of targets) using all cores, assuming the
+// plan's modified charges are already computed. It is the repeated-solve
+// path used by the Solver facade (boundary-integral iterations update
+// charges, not geometry). It returns the modeled compute-phase flop count.
+func RunComputeOnly(pl *Plan, k kernel.Kernel, phi []float64) float64 {
+	parallelForNodes(len(pl.Batches.Batches), 0, func(bi int) {
+		evalBatchLists(pl, k, bi, phi)
+	})
+	return computeFlops(pl.Lists.Stats, k, kernel.ArchCPU)
+}
+
+// evalBatchLists accumulates batch bi's full interaction list into phi
+// (batch target order).
+func evalBatchLists(pl *Plan, k kernel.Kernel, bi int, phi []float64) {
+	b := &pl.Batches.Batches[bi]
+	tg := pl.Batches.Targets
+	src := pl.Sources.Particles
+	for _, ci := range pl.Lists.Direct[bi] {
+		nd := &pl.Sources.Nodes[ci]
+		for ti := b.Lo; ti < b.Hi; ti++ {
+			phi[ti] += EvalDirectTarget(k, tg, ti, src, nd.Lo, nd.Hi)
+		}
+	}
+	cd := pl.Clusters
+	for _, ci := range pl.Lists.Approx[bi] {
+		px, py, pz, qhat := cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci]
+		for ti := b.Lo; ti < b.Hi; ti++ {
+			phi[ti] += EvalApproxTarget(k, tg, ti, px, py, pz, qhat)
+		}
+	}
+}
+
+// computeFlops converts interaction counts into modeled flop-equivalents
+// for the given kernel and architecture.
+func computeFlops(st interaction.Stats, k kernel.Kernel, arch kernel.Arch) float64 {
+	perEval := k.Cost(arch)
+	// Each kernel evaluation is followed by a multiply-accumulate with the
+	// (modified) charge.
+	return float64(st.TotalInteractions()) * (perEval + 2)
+}
+
+// ModelCPURun returns the modeled phase times of a CPU treecode run without
+// executing any kernels: setup from the plan's construction counters,
+// precompute from the modified-charge work, compute from the interaction
+// lists. It matches RunCPU's Times field exactly.
+func ModelCPURun(pl *Plan, k kernel.Kernel, spec perfmodel.CPUSpec) perfmodel.PhaseTimes {
+	if spec.Cores == 0 {
+		spec = perfmodel.XeonX5650()
+	}
+	rate := spec.ParallelFlopRate()
+	var t perfmodel.PhaseTimes
+	t[perfmodel.PhaseSetup] = pl.SetupWork(spec)
+	t[perfmodel.PhasePrecompute] = pl.Clusters.TotalChargeWork(pl.Sources) / rate
+	t[perfmodel.PhaseCompute] = computeFlops(pl.Lists.Stats, k, kernel.ArchCPU) / rate
+	return t
+}
+
+// ModelDirectSumCPU returns the modeled seconds for a full direct summation
+// of nt targets against ns sources on the given CPU with all cores active
+// (the paper's Figure 4 reference line).
+func ModelDirectSumCPU(cpu perfmodel.CPUSpec, k kernel.Kernel, nt, ns int) float64 {
+	flops := float64(nt) * float64(ns) * (k.Cost(kernel.ArchCPU) + 2)
+	return flops / cpu.ParallelFlopRate()
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"barytree/internal/kernel"
+	"barytree/internal/particle"
+)
+
+// EvalDirectTarget computes the potential at one target due to direct
+// summation over source particles [cLo, cHi) — the body of one thread block
+// of the batch-cluster direct sum kernel (Figure 3b): the loop over sources
+// is what the GPU parallelizes over threads and reduces.
+func EvalDirectTarget(k kernel.Kernel, tg *particle.Set, ti int, src *particle.Set, cLo, cHi int) float64 {
+	tx, ty, tz := tg.X[ti], tg.Y[ti], tg.Z[ti]
+	var phi float64
+	for j := cLo; j < cHi; j++ {
+		phi += k.Eval(tx, ty, tz, src.X[j], src.Y[j], src.Z[j]) * src.Q[j]
+	}
+	return phi
+}
+
+// EvalApproxTarget computes the potential at one target due to the
+// barycentric particle-cluster approximation (equation (11)): a direct sum
+// over the cluster's Chebyshev points with modified charges. This identical
+// direct-sum structure is what makes the BLTC map efficiently onto GPUs.
+func EvalApproxTarget(k kernel.Kernel, tg *particle.Set, ti int, px, py, pz, qhat []float64) float64 {
+	tx, ty, tz := tg.X[ti], tg.Y[ti], tg.Z[ti]
+	var phi float64
+	for j := range qhat {
+		phi += k.Eval(tx, ty, tz, px[j], py[j], pz[j]) * qhat[j]
+	}
+	return phi
+}
+
+// EvalDirectTargetF32 is the single-precision variant of EvalDirectTarget,
+// used by the mixed-precision extension. Accumulation is float32 as well,
+// mirroring an fp32 GPU kernel.
+func EvalDirectTargetF32(k kernel.F32Kernel, tg *particle.Set, ti int, src *particle.Set, cLo, cHi int) float64 {
+	tx, ty, tz := float32(tg.X[ti]), float32(tg.Y[ti]), float32(tg.Z[ti])
+	var phi float32
+	for j := cLo; j < cHi; j++ {
+		phi += k.EvalF32(tx, ty, tz, float32(src.X[j]), float32(src.Y[j]), float32(src.Z[j])) * float32(src.Q[j])
+	}
+	return float64(phi)
+}
+
+// EvalApproxTargetF32 is the single-precision variant of EvalApproxTarget.
+func EvalApproxTargetF32(k kernel.F32Kernel, tg *particle.Set, ti int, px, py, pz, qhat []float64) float64 {
+	tx, ty, tz := float32(tg.X[ti]), float32(tg.Y[ti]), float32(tg.Z[ti])
+	var phi float32
+	for j := range qhat {
+		phi += k.EvalF32(tx, ty, tz, float32(px[j]), float32(py[j]), float32(pz[j])) * float32(qhat[j])
+	}
+	return float64(phi)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// parallelForNodes runs fn(i) for i in [0, n) over up to `workers`
+// goroutines (workers <= 0 selects GOMAXPROCS). Work is distributed in
+// contiguous ranges.
+func parallelForNodes(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

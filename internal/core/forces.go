@@ -1,0 +1,103 @@
+package core
+
+import (
+	"barytree/internal/kernel"
+	"barytree/internal/particle"
+	"barytree/internal/perfmodel"
+)
+
+// FieldResult holds potentials and fields (negative forces per unit
+// charge) at every target, in the caller's original target order.
+type FieldResult struct {
+	Phi        []float64
+	GX, GY, GZ []float64 // gradient of phi at each target
+	Times      perfmodel.PhaseTimes
+}
+
+// EvalDirectFieldTarget accumulates the potential and its gradient at one
+// target due to direct summation over sources [cLo, cHi).
+func EvalDirectFieldTarget(k kernel.GradKernel, tg *particle.Set, ti int, src *particle.Set, cLo, cHi int) (phi, gx, gy, gz float64) {
+	tx, ty, tz := tg.X[ti], tg.Y[ti], tg.Z[ti]
+	for j := cLo; j < cHi; j++ {
+		g, dx, dy, dz := k.EvalGrad(tx, ty, tz, src.X[j], src.Y[j], src.Z[j])
+		q := src.Q[j]
+		phi += g * q
+		gx += dx * q
+		gy += dy * q
+		gz += dz * q
+	}
+	return phi, gx, gy, gz
+}
+
+// EvalApproxFieldTarget accumulates the potential and gradient at one
+// target due to a cluster's Chebyshev proxies: the same direct-sum shape
+// as the potential-only kernel, with gradient evaluations of G.
+func EvalApproxFieldTarget(k kernel.GradKernel, tg *particle.Set, ti int, px, py, pz, qhat []float64) (phi, gx, gy, gz float64) {
+	tx, ty, tz := tg.X[ti], tg.Y[ti], tg.Z[ti]
+	for j := range qhat {
+		g, dx, dy, dz := k.EvalGrad(tx, ty, tz, px[j], py[j], pz[j])
+		q := qhat[j]
+		phi += g * q
+		gx += dx * q
+		gy += dy * q
+		gz += dz * q
+	}
+	return phi, gx, gy, gz
+}
+
+// RunCPUFields evaluates potentials and gradients for the plan on the CPU
+// backend. The modified charges are the ones already used for potentials
+// (interpolation is in the source variable, so the gradient with respect
+// to the target needs no new cluster data).
+func RunCPUFields(pl *Plan, k kernel.GradKernel, opt CPUOptions) *FieldResult {
+	opt.defaults()
+	rate := opt.Spec.ParallelFlopRate()
+	res := &FieldResult{}
+	res.Times[perfmodel.PhaseSetup] = pl.SetupWork(opt.Spec)
+
+	chargeFlops := pl.Clusters.ComputeCharges(pl.Sources, opt.Workers)
+	res.Times[perfmodel.PhasePrecompute] = chargeFlops / rate
+
+	n := pl.Batches.Targets.Len()
+	phi := make([]float64, n)
+	gx := make([]float64, n)
+	gy := make([]float64, n)
+	gz := make([]float64, n)
+	tg := pl.Batches.Targets
+	src := pl.Sources.Particles
+	cd := pl.Clusters
+	parallelForNodes(len(pl.Batches.Batches), opt.Workers, func(bi int) {
+		b := &pl.Batches.Batches[bi]
+		for _, ci := range pl.Lists.Direct[bi] {
+			nd := &pl.Sources.Nodes[ci]
+			for ti := b.Lo; ti < b.Hi; ti++ {
+				p, x, y, z := EvalDirectFieldTarget(k, tg, ti, src, nd.Lo, nd.Hi)
+				phi[ti] += p
+				gx[ti] += x
+				gy[ti] += y
+				gz[ti] += z
+			}
+		}
+		for _, ci := range pl.Lists.Approx[bi] {
+			for ti := b.Lo; ti < b.Hi; ti++ {
+				p, x, y, z := EvalApproxFieldTarget(k, tg, ti, cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci])
+				phi[ti] += p
+				gx[ti] += x
+				gy[ti] += y
+				gz[ti] += z
+			}
+		}
+	})
+	res.Times[perfmodel.PhaseCompute] =
+		float64(pl.Lists.Stats.TotalInteractions()) * (kernel.GradCost(k, kernel.ArchCPU) + 8) / rate
+
+	res.Phi = make([]float64, n)
+	res.GX = make([]float64, n)
+	res.GY = make([]float64, n)
+	res.GZ = make([]float64, n)
+	pl.Batches.Perm.ScatterInto(res.Phi, phi)
+	pl.Batches.Perm.ScatterInto(res.GX, gx)
+	pl.Batches.Perm.ScatterInto(res.GY, gy)
+	pl.Batches.Perm.ScatterInto(res.GZ, gz)
+	return res
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"barytree/internal/direct"
+	"barytree/internal/kernel"
+	"barytree/internal/metrics"
+)
+
+func TestFieldsMatchDirectSum(t *testing.T) {
+	pts := testParticles(t, 3000, 21)
+	k := kernel.Coulomb{}
+	refPhi, refGX, refGY, refGZ := direct.Fields(k, pts, pts)
+
+	pl, err := NewPlan(pts, pts, Params{Theta: 0.6, Degree: 7, LeafSize: 150, BatchSize: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunCPUFields(pl, k, CPUOptions{})
+	if e := metrics.RelErr2(refPhi, res.Phi); e > 1e-5 {
+		t.Errorf("potential error %.3g", e)
+	}
+	for name, pair := range map[string][2][]float64{
+		"gx": {refGX, res.GX}, "gy": {refGY, res.GY}, "gz": {refGZ, res.GZ},
+	} {
+		if e := metrics.RelErr2(pair[0], pair[1]); e > 1e-4 {
+			t.Errorf("%s error %.3g", name, e)
+		}
+	}
+}
+
+func TestFieldsYukawa(t *testing.T) {
+	pts := testParticles(t, 2000, 22)
+	k := kernel.Yukawa{Kappa: 0.5}
+	_, refGX, _, _ := direct.Fields(k, pts, pts)
+	pl, err := NewPlan(pts, pts, Params{Theta: 0.6, Degree: 8, LeafSize: 120, BatchSize: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunCPUFields(pl, k, CPUOptions{})
+	if e := metrics.RelErr2(refGX, res.GX); e > 1e-4 {
+		t.Errorf("yukawa gx error %.3g", e)
+	}
+}
+
+func TestFieldPhiMatchesPotentialOnlyPath(t *testing.T) {
+	// The potential computed by the field path must agree closely with
+	// the potential-only path (same lists, same charges; the only
+	// difference is evaluation order within a target's accumulation).
+	pts := testParticles(t, 2000, 23)
+	k := kernel.Coulomb{}
+	p := Params{Theta: 0.7, Degree: 5, LeafSize: 100, BatchSize: 100}
+	pl1, err := NewPlan(pts, pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	potOnly := RunCPU(pl1, k, CPUOptions{})
+	pl2, _ := NewPlan(pts, pts, p)
+	fields := RunCPUFields(pl2, k, CPUOptions{})
+	if e := metrics.RelErr2(potOnly.Phi, fields.Phi); e > 1e-14 {
+		t.Errorf("field-path potential deviates: %.3g", e)
+	}
+}
+
+func TestFieldGradientConvergesWithDegree(t *testing.T) {
+	pts := testParticles(t, 2000, 24)
+	k := kernel.Coulomb{}
+	_, refGX, _, _ := direct.Fields(k, pts, pts)
+	var prev = math.Inf(1)
+	for _, n := range []int{2, 5, 8} {
+		pl, err := NewPlan(pts, pts, Params{Theta: 0.6, Degree: n, LeafSize: 100, BatchSize: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunCPUFields(pl, k, CPUOptions{})
+		e := metrics.RelErr2(refGX, res.GX)
+		if e > prev*1.5 && e > 1e-12 {
+			t.Errorf("degree %d: gradient error %.3g did not decrease from %.3g", n, e, prev)
+		}
+		prev = e
+	}
+	if prev > 1e-5 {
+		t.Errorf("degree 8 gradient error %.3g too large", prev)
+	}
+}
+
+func TestFieldTimesExceedPotentialTimes(t *testing.T) {
+	// Gradients cost more per interaction; the model must reflect it.
+	pts := testParticles(t, 2000, 25)
+	k := kernel.Coulomb{}
+	p := Params{Theta: 0.7, Degree: 5, LeafSize: 100, BatchSize: 100}
+	pl1, _ := NewPlan(pts, pts, p)
+	pot := RunCPU(pl1, k, CPUOptions{})
+	pl2, _ := NewPlan(pts, pts, p)
+	fld := RunCPUFields(pl2, k, CPUOptions{})
+	if fld.Times.Total() <= pot.Times.Total() {
+		t.Errorf("field time %.4g not above potential time %.4g", fld.Times.Total(), pot.Times.Total())
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+
+	"barytree/internal/device"
+	"barytree/internal/kernel"
+	"barytree/internal/particle"
+	"barytree/internal/perfmodel"
+	"barytree/internal/tree"
+)
+
+// Launcher queues batch/cluster potential kernels on a simulated device,
+// cycling asynchronous streams and advancing the host clock by the launch
+// overhead, exactly as the paper's CPU loop over the interaction lists
+// does. Both the single-device driver and the distributed driver (which
+// additionally launches kernels against LET data) are built on it.
+type Launcher struct {
+	Dev       *device.Device
+	Host      *perfmodel.Clock
+	Kernel    kernel.Kernel
+	Streams   int
+	Sync      bool
+	Precision device.Precision
+	ModelOnly bool
+	// DataReady is the completion time of the HtD transfer the kernels
+	// depend on.
+	DataReady float64
+
+	f32       kernel.F32Kernel
+	rate      float64
+	capacity  float64
+	perEval   float64
+	syncReady float64
+	launch    int
+}
+
+// NewLauncher prepares a launcher for the compute phase. streams <= 0
+// selects the device default.
+func NewLauncher(dev *device.Device, host *perfmodel.Clock, k kernel.Kernel,
+	streams int, sync bool, prec device.Precision, modelOnly bool, dataReady float64) *Launcher {
+
+	if streams <= 0 {
+		streams = dev.Spec.Streams
+	}
+	l := &Launcher{
+		Dev:       dev,
+		Host:      host,
+		Kernel:    k,
+		Streams:   streams,
+		Sync:      sync,
+		Precision: prec,
+		ModelOnly: modelOnly,
+		DataReady: dataReady,
+		rate:      dev.Spec.EffectiveFlopRate(),
+		capacity:  float64(dev.Spec.ThreadCapacity()),
+		perEval:   k.Cost(kernel.ArchGPU) + 2,
+	}
+	if prec == device.FP32 {
+		l.rate *= dev.Spec.FP32Speedup
+		f32, ok := k.(kernel.F32Kernel)
+		if !ok && !modelOnly {
+			panic("core: FP32 requested but kernel does not implement kernel.F32Kernel")
+		}
+		l.f32 = f32
+	}
+	return l
+}
+
+// queue advances the host clock for one launch and returns the kernel's
+// earliest device-side start; in Sync mode the host also waits for the
+// kernel itself.
+func (l *Launcher) queue(work float64, grid, block int) (device.LaunchSpec, float64) {
+	spec := device.LaunchSpec{
+		Stream: l.launch % l.Streams,
+		Grid:   grid,
+		Block:  block,
+		FlopEq: work,
+	}
+	l.launch++
+	l.Host.Advance(l.Dev.Spec.LaunchOverheadHost)
+	submit := math.Max(l.Host.Now(), l.DataReady)
+	if l.Sync {
+		submit = math.Max(submit, l.syncReady)
+		u := float64(grid*block) / l.capacity
+		if u > 1 {
+			u = 1
+		}
+		if u <= 0 {
+			u = 1 / l.capacity
+		}
+		done := submit + l.Dev.Spec.LaunchLatencyDevice + work/(l.rate*u)
+		l.syncReady = done
+		l.Host.AdvanceTo(done)
+	}
+	return spec, submit
+}
+
+// LaunchDirect queues one batch-cluster direct sum kernel: targets
+// [bLo, bLo+nb) of tg against source particles [cLo, cHi) of src, with one
+// thread block per target and atomic accumulation into phi (batch target
+// order).
+func (l *Launcher) LaunchDirect(tg *particle.Set, bLo, nb int, src *particle.Set, cLo, cHi int, phi *device.AccumBuffer) {
+	work := float64(nb) * float64(cHi-cLo) * l.perEval
+	spec, submit := l.queue(work, nb, minInt(cHi-cLo, 1024))
+	var fn func(int)
+	if !l.ModelOnly {
+		k := l.Kernel
+		f32 := l.f32
+		prec := l.Precision
+		fn = func(block int) {
+			ti := bLo + block
+			var v float64
+			if prec == device.FP32 {
+				v = EvalDirectTargetF32(f32, tg, ti, src, cLo, cHi)
+			} else {
+				v = EvalDirectTarget(k, tg, ti, src, cLo, cHi)
+			}
+			phi.Add(ti, v)
+		}
+	}
+	l.Dev.Launch(spec, submit, fn)
+}
+
+// LaunchApprox queues one batch-cluster approximation kernel: targets
+// [bLo, bLo+nb) against a cluster's Chebyshev points px/py/pz with modified
+// charges qhat.
+func (l *Launcher) LaunchApprox(tg *particle.Set, bLo, nb int, px, py, pz, qhat []float64, phi *device.AccumBuffer) {
+	np := len(px)
+	work := float64(nb) * float64(np) * l.perEval
+	spec, submit := l.queue(work, nb, minInt(np, 1024))
+	var fn func(int)
+	if !l.ModelOnly {
+		k := l.Kernel
+		f32 := l.f32
+		prec := l.Precision
+		fn = func(block int) {
+			ti := bLo + block
+			var v float64
+			if prec == device.FP32 {
+				v = EvalApproxTargetF32(f32, tg, ti, px, py, pz, qhat)
+			} else {
+				v = EvalApproxTarget(k, tg, ti, px, py, pz, qhat)
+			}
+			phi.Add(ti, v)
+		}
+	}
+	l.Dev.Launch(spec, submit, fn)
+}
+
+// LaunchChargeKernels queues the two preprocessing kernels for every node
+// of the source tree (Section 3.2): kernel 1 computes the intermediate
+// quantities with one block per particle and threads over the degree;
+// kernel 2 computes each modified charge with one block per Chebyshev
+// point and threads over the particles. In model-only mode the launches
+// are recorded for timing but Qhat stays nil.
+func LaunchChargeKernels(cd *ClusterData, t *tree.Tree, dev *device.Device,
+	hc *perfmodel.Clock, dataReady float64, streams int, modelOnly bool) {
+
+	if streams <= 0 {
+		streams = dev.Spec.Streams
+	}
+	n := cd.Degree
+	m := n + 1
+	launch := 0
+	for ni := range t.Nodes {
+		nd := &t.Nodes[ni]
+		nc := nd.Count()
+		p1, p2 := chargeWork(n, nc)
+
+		var scratch *clusterScratch
+		var fn1, fn2 func(int)
+		var qhat []float64
+		if !modelOnly {
+			scratch = newClusterScratch(nc)
+			qhat = make([]float64, cd.Grids[ni].NumPoints())
+			ni := ni
+			nd := nd
+			fn1 = func(block int) {
+				cd.pass1Particle(t.Particles, nd, ni, block, scratch)
+			}
+			fn2 = func(block int) {
+				cd.pass2Point(ni, scratch, block, qhat)
+			}
+		}
+
+		hc.Advance(dev.Spec.LaunchOverheadHost)
+		dev.Launch(device.LaunchSpec{
+			Stream: launch % streams,
+			Grid:   nc,
+			Block:  m,
+			FlopEq: p1,
+		}, math.Max(hc.Now(), dataReady), fn1)
+		launch++
+
+		np := cd.Grids[ni].NumPoints()
+		hc.Advance(dev.Spec.LaunchOverheadHost)
+		dev.Launch(device.LaunchSpec{
+			Stream: launch % streams,
+			Grid:   np,
+			Block:  minInt(nc, 1024),
+			FlopEq: p2,
+		}, math.Max(hc.Now(), dataReady), fn2)
+		launch++
+		if !modelOnly {
+			cd.Qhat[ni] = qhat
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package core implements the barycentric Lagrange treecode (BLTC) itself:
+// cluster interpolation data, modified charges, the batch/cluster potential
+// evaluation kernels, and drivers for serial CPU, multicore CPU and
+// simulated-GPU execution. The distributed multi-GPU driver lives in
+// internal/dist on top of this package.
+package core
+
+import (
+	"fmt"
+
+	"barytree/internal/interaction"
+	"barytree/internal/particle"
+	"barytree/internal/perfmodel"
+	"barytree/internal/tree"
+)
+
+// Params are the treecode parameters of the paper: MAC parameter theta,
+// interpolation degree n, source-tree leaf size NL and target batch size NB.
+type Params struct {
+	Theta     float64 // MAC opening parameter, 0 < Theta < 1
+	Degree    int     // interpolation degree n >= 1
+	LeafSize  int     // NL, maximum particles per source leaf
+	BatchSize int     // NB, maximum targets per batch
+}
+
+// DefaultParams returns the parameters of the paper's scaling runs:
+// theta = 0.8, n = 8, NL = NB = 4000 (5-6 digit accuracy).
+func DefaultParams() Params {
+	return Params{Theta: 0.8, Degree: 8, LeafSize: 4000, BatchSize: 4000}
+}
+
+// Validate returns an error if the parameters are out of range.
+func (p Params) Validate() error {
+	if !(p.Theta > 0 && p.Theta < 1) {
+		return fmt.Errorf("core: MAC parameter theta must be in (0,1), got %g", p.Theta)
+	}
+	if p.Degree < 1 {
+		return fmt.Errorf("core: interpolation degree must be >= 1, got %d", p.Degree)
+	}
+	if p.LeafSize < 1 {
+		return fmt.Errorf("core: leaf size must be >= 1, got %d", p.LeafSize)
+	}
+	if p.BatchSize < 1 {
+		return fmt.Errorf("core: batch size must be >= 1, got %d", p.BatchSize)
+	}
+	return nil
+}
+
+// MAC returns the multipole acceptance criterion for these parameters.
+func (p Params) MAC() interaction.MAC {
+	return interaction.MAC{Theta: p.Theta, Degree: p.Degree}
+}
+
+// Plan is the output of the treecode's setup phase for a shared-memory run:
+// the source cluster tree, the target batches, the batch/cluster interaction
+// lists, and the per-cluster interpolation grids. A Plan is independent of
+// the interaction kernel, so one Plan can be evaluated under several kernels
+// (as Figure 4 does for Coulomb and Yukawa).
+type Plan struct {
+	Params   Params
+	Sources  *tree.Tree
+	Batches  *tree.BatchSet
+	Lists    *interaction.Lists
+	Clusters *ClusterData
+}
+
+// NewPlan runs the setup phase: build the source tree and target batches,
+// create the interaction lists, and lay out the cluster interpolation grids.
+func NewPlan(targets, sources *particle.Set, p Params) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sources.Validate(); err != nil {
+		return nil, fmt.Errorf("core: bad sources: %w", err)
+	}
+	if err := targets.Validate(); err != nil {
+		return nil, fmt.Errorf("core: bad targets: %w", err)
+	}
+	t := tree.Build(sources, p.LeafSize)
+	b := tree.BuildBatches(targets, p.BatchSize)
+	lists := interaction.BuildLists(b, t, p.MAC())
+	return &Plan{
+		Params:   p,
+		Sources:  t,
+		Batches:  b,
+		Lists:    lists,
+		Clusters: NewClusterData(t, p.Degree),
+	}, nil
+}
+
+// SetupWork converts the plan's construction counters into modeled CPU
+// seconds for the setup phase.
+func (pl *Plan) SetupWork(cpu perfmodel.CPUSpec) float64 {
+	treeOps := float64(pl.Sources.Stats.ParticleScans + pl.Sources.Stats.ParticleMoves +
+		pl.Batches.Stats.ParticleScans + pl.Batches.Stats.ParticleMoves)
+	return treeOps/cpu.TreeOpRate + float64(pl.Lists.Stats.MACTests)/cpu.MACTestRate
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"barytree/internal/kernel"
+)
+
+// EvaluateSampled functionally evaluates the treecode potential only at the
+// given target indices (in the caller's original target ordering) and
+// returns the potentials in sample order.
+//
+// This is the mechanism that lets the benchmark harness reproduce the
+// paper's experiments at full problem size on a laptop: the tree, batches
+// and interaction lists are built for the complete system (so every work
+// counter feeding the performance model is exact), while kernel evaluations
+// — the O(N log N) bulk — run only for a sampled subset of targets, exactly
+// mirroring how the paper samples its error measurement for systems of 8M
+// particles and more. Modified charges are computed lazily, only for
+// clusters that appear on a sampled batch's interaction list.
+func EvaluateSampled(pl *Plan, k kernel.Kernel, sample []int) ([]float64, error) {
+	nTargets := pl.Batches.Targets.Len()
+	inv := pl.Batches.Perm.Inverse() // original index -> batch order index
+	// Locate the batch of every sampled target.
+	batchOf := make([]int, len(sample))
+	needBatch := map[int]struct{}{}
+	for i, orig := range sample {
+		if orig < 0 || orig >= nTargets {
+			return nil, fmt.Errorf("core: sample index %d out of range [0,%d)", orig, nTargets)
+		}
+		bi := findBatch(pl, inv[orig])
+		if bi < 0 {
+			return nil, fmt.Errorf("core: no batch contains target %d", orig)
+		}
+		batchOf[i] = bi
+		needBatch[bi] = struct{}{}
+	}
+	// Compute charges for clusters on the needed batches' approx lists.
+	needCluster := map[int32]struct{}{}
+	for bi := range needBatch {
+		for _, ci := range pl.Lists.Approx[bi] {
+			needCluster[ci] = struct{}{}
+		}
+	}
+	clusters := make([]int32, 0, len(needCluster))
+	for ci := range needCluster {
+		if pl.Clusters.Qhat[ci] == nil {
+			clusters = append(clusters, ci)
+		}
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
+	parallelForNodes(len(clusters), 0, func(i int) {
+		ci := clusters[i]
+		pl.Clusters.computeChargesNode(pl.Sources.Particles, &pl.Sources.Nodes[ci], int(ci))
+	})
+
+	// Evaluate each sampled target against its batch's lists.
+	phi := make([]float64, len(sample))
+	tg := pl.Batches.Targets
+	src := pl.Sources.Particles
+	parallelForNodes(len(sample), 0, func(i int) {
+		bi := batchOf[i]
+		ti := inv[sample[i]]
+		var v float64
+		for _, ci := range pl.Lists.Direct[bi] {
+			nd := &pl.Sources.Nodes[ci]
+			v += EvalDirectTarget(k, tg, ti, src, nd.Lo, nd.Hi)
+		}
+		cd := pl.Clusters
+		for _, ci := range pl.Lists.Approx[bi] {
+			v += EvalApproxTarget(k, tg, ti, cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci])
+		}
+		phi[i] = v
+	})
+	return phi, nil
+}
+
+// findBatch returns the index of the batch whose [Lo, Hi) range contains
+// batch-order target index ti, using binary search over the (sorted,
+// contiguous) batch ranges.
+func findBatch(pl *Plan, ti int) int {
+	bs := pl.Batches.Batches
+	lo, hi := 0, len(bs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case ti < bs[mid].Lo:
+			hi = mid
+		case ti >= bs[mid].Hi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}

@@ -1,0 +1,107 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"barytree/internal/perfmodel"
+)
+
+// randomLaunches builds a reproducible random launch set from a seed.
+func randomLaunches(seed int64) []LaunchSpec {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(40)
+	specs := make([]LaunchSpec, n)
+	for i := range specs {
+		specs[i] = LaunchSpec{
+			Stream: rng.Intn(4),
+			Grid:   1 + rng.Intn(4000),
+			Block:  1 + rng.Intn(1024),
+			FlopEq: float64(1+rng.Intn(1000)) * 1e6,
+		}
+	}
+	return specs
+}
+
+func runSchedule(specs []LaunchSpec, streams int) float64 {
+	spec := perfmodel.TitanV()
+	spec.Streams = streams
+	d := New(spec, 1)
+	d.BeginPhase(0)
+	for i, s := range specs {
+		s.Stream = s.Stream % streams
+		d.Launch(s, float64(i)*1e-6, nil)
+	}
+	return d.Drain()
+}
+
+// TestScheduleLowerBoundProperty: the device can never finish faster than
+// total work divided by peak effective rate, nor before the last
+// submission.
+func TestScheduleLowerBoundProperty(t *testing.T) {
+	spec := perfmodel.TitanV()
+	f := func(seed int64) bool {
+		specs := randomLaunches(seed)
+		var work float64
+		for _, s := range specs {
+			work += s.FlopEq
+		}
+		finish := runSchedule(specs, 4)
+		lower := work / spec.EffectiveFlopRate()
+		lastSubmit := float64(len(specs)-1) * 1e-6
+		return finish >= lower*(1-1e-9) && finish >= lastSubmit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScheduleUpperBoundProperty: the fluid schedule can never be slower
+// than fully serial execution of under-occupied kernels.
+func TestScheduleUpperBoundProperty(t *testing.T) {
+	spec := perfmodel.TitanV()
+	f := func(seed int64) bool {
+		specs := randomLaunches(seed)
+		var serial float64
+		for _, s := range specs {
+			u := float64(s.Grid*s.Block) / float64(spec.ThreadCapacity())
+			if u > 1 {
+				u = 1
+			}
+			serial += s.FlopEq / (spec.EffectiveFlopRate() * u)
+		}
+		serial += float64(len(specs))*1e-6 + spec.LaunchLatencyDevice
+		finish := runSchedule(specs, 4)
+		return finish <= serial*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMoreStreamsNeverSlowerProperty: with identical launches, 4 streams
+// finish no later than 1 stream (stream parallelism only removes
+// serialization constraints).
+func TestMoreStreamsNeverSlowerProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		specs := randomLaunches(seed)
+		t1 := runSchedule(specs, 1)
+		t4 := runSchedule(specs, 4)
+		return t4 <= t1*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScheduleDeterministic: the simulator is a pure function of its
+// inputs.
+func TestScheduleDeterministic(t *testing.T) {
+	specs := randomLaunches(7)
+	a := runSchedule(specs, 4)
+	b := runSchedule(specs, 4)
+	if a != b {
+		t.Fatalf("schedule not deterministic: %g vs %g", a, b)
+	}
+}

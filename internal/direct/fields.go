@@ -1,0 +1,67 @@
+package direct
+
+import (
+	"runtime"
+	"sync"
+
+	"barytree/internal/kernel"
+	"barytree/internal/particle"
+)
+
+// Fields computes potentials and gradients at all targets by direct
+// summation, parallelized over targets. The returned slices are indexed by
+// target.
+func Fields(k kernel.GradKernel, targets, sources *particle.Set) (phi, gx, gy, gz []float64) {
+	n := targets.Len()
+	phi = make([]float64, n)
+	gx = make([]float64, n)
+	gy = make([]float64, n)
+	gz = make([]float64, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				phi[i], gx[i], gy[i], gz[i] = fieldAt(k, targets, i, sources)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return phi, gx, gy, gz
+}
+
+// FieldsAt computes potentials and gradients only at the sampled target
+// indices.
+func FieldsAt(k kernel.GradKernel, targets *particle.Set, sample []int, sources *particle.Set) (phi, gx, gy, gz []float64) {
+	phi = make([]float64, len(sample))
+	gx = make([]float64, len(sample))
+	gy = make([]float64, len(sample))
+	gz = make([]float64, len(sample))
+	for i, t := range sample {
+		phi[i], gx[i], gy[i], gz[i] = fieldAt(k, targets, t, sources)
+	}
+	return phi, gx, gy, gz
+}
+
+func fieldAt(k kernel.GradKernel, targets *particle.Set, i int, sources *particle.Set) (phi, gx, gy, gz float64) {
+	tx, ty, tz := targets.X[i], targets.Y[i], targets.Z[i]
+	for j := 0; j < sources.Len(); j++ {
+		g, dx, dy, dz := k.EvalGrad(tx, ty, tz, sources.X[j], sources.Y[j], sources.Z[j])
+		q := sources.Q[j]
+		phi += g * q
+		gx += dx * q
+		gy += dy * q
+		gz += dz * q
+	}
+	return phi, gx, gy, gz
+}

@@ -1,0 +1,274 @@
+// Package dist is the distributed-memory multi-GPU driver of the BLTC,
+// combining every substrate exactly as the paper's Section 3 does:
+// recursive coordinate bisection assigns particles to ranks (one rank per
+// GPU); each rank builds a local source tree and target batches, computes
+// its clusters' modified charges on its device, exposes tree arrays,
+// particles and charges through one-sided RMA windows, pulls the locally
+// essential tree from every remote rank, and evaluates its local targets'
+// potentials on its device.
+//
+// Phase accounting follows the paper's Section 4: *setup* is the domain
+// decomposition, local tree/batch construction, LET construction and
+// communication, and interaction-list creation; *precompute* is the
+// modified-charge kernels; *compute* is the potential evaluation. Each
+// phase's distributed duration is the maximum over ranks (phases are
+// barrier-separated), and the run time is the sum over phases.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"barytree/internal/core"
+	"barytree/internal/device"
+	"barytree/internal/interaction"
+	"barytree/internal/kernel"
+	"barytree/internal/let"
+	"barytree/internal/mpisim"
+	"barytree/internal/particle"
+	"barytree/internal/perfmodel"
+	"barytree/internal/rcb"
+	"barytree/internal/tree"
+)
+
+// Config configures a distributed run.
+type Config struct {
+	// Ranks is the number of MPI ranks; the paper associates one rank with
+	// each GPU.
+	Ranks  int
+	Params core.Params
+	// GPU is the per-rank device model (zero value: P100, the paper's
+	// scaling testbed).
+	GPU perfmodel.GPUSpec
+	// CPU is the host model per rank (zero value: Xeon X5650).
+	CPU perfmodel.CPUSpec
+	// Net is the interconnect model (zero value: Comet InfiniBand).
+	Net perfmodel.NetworkSpec
+	// WorkersPerRank bounds the host goroutines each rank uses for
+	// functional execution; 0 divides GOMAXPROCS evenly.
+	WorkersPerRank int
+	// Streams overrides the per-device stream count (0: device default).
+	Streams int
+	// ModelOnly skips functional kernel execution (timing model only);
+	// Result.Phi is nil.
+	ModelOnly bool
+	// OverlapComm enables the paper's future-work extension of overlapping
+	// LET communication with computation: the modeled setup time is
+	// reduced by the portion of LET communication that fits under the
+	// precompute phase.
+	OverlapComm bool
+	// Precision selects fp64 or fp32 potential kernels.
+	Precision device.Precision
+}
+
+func (c *Config) defaults() error {
+	if c.Ranks < 1 {
+		return fmt.Errorf("dist: ranks must be >= 1, got %d", c.Ranks)
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.GPU.SMs == 0 {
+		c.GPU = perfmodel.P100()
+	}
+	if c.CPU.Cores == 0 {
+		c.CPU = perfmodel.XeonX5650()
+	}
+	if c.Net.Bandwidth == 0 {
+		c.Net = perfmodel.CometIB()
+	}
+	return nil
+}
+
+// RankReport is one rank's contribution to the run.
+type RankReport struct {
+	Times        perfmodel.PhaseTimes
+	Particles    int
+	TreeNodes    int
+	Batches      int
+	Local        interaction.Stats
+	Remote       interaction.Stats
+	Comm         mpisim.CommStats
+	LETClusters  int
+	LETLeaves    int
+	LETBytes     int64
+	CommTime     float64 // modeled seconds spent in RMA gets
+	OverlapSaved float64 // setup seconds hidden by OverlapComm
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	// Phi holds potentials in the input particle order (nil if ModelOnly).
+	Phi []float64
+	// Times is the distributed phase profile: per-phase max over ranks.
+	Times perfmodel.PhaseTimes
+	// Ranks holds each rank's report.
+	Ranks []RankReport
+}
+
+// TotalInteractions sums local and remote kernel evaluations over ranks.
+func (r *Result) TotalInteractions() int64 {
+	var t int64
+	for i := range r.Ranks {
+		t += r.Ranks[i].Local.TotalInteractions() + r.Ranks[i].Remote.TotalInteractions()
+	}
+	return t
+}
+
+// Run evaluates the potentials of pts (targets == sources, as in all of the
+// paper's experiments) on cfg.Ranks simulated GPUs.
+func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if err := pts.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: bad particles: %w", err)
+	}
+	// Domain decomposition (the paper calls Zoltan here). The
+	// decomposition is computed once and its parallel cost modeled per
+	// rank: each bisection level scans the rank's particles once.
+	dec := rcb.Partition(pts, cfg.Ranks, pts.Bounds())
+	rcbLevels := math.Ceil(math.Log2(float64(cfg.Ranks)))
+
+	res := &Result{Ranks: make([]RankReport, cfg.Ranks)}
+	if !cfg.ModelOnly {
+		res.Phi = make([]float64, pts.Len())
+	}
+	var phiMu sync.Mutex
+
+	err := mpisim.Run(cfg.Ranks, cfg.Net, func(r *mpisim.Rank) error {
+		rep := &res.Ranks[r.ID()]
+		local, orig := dec.Extract(pts, r.ID())
+		rep.Particles = local.Len()
+		dev := device.New(cfg.GPU, cfg.WorkersPerRank)
+		dev.Precision = cfg.Precision
+		hc := &r.Clock
+		mac := cfg.Params.MAC()
+
+		// --- Setup (part 1): RCB + local tree and batches. ---
+		hc.Advance(float64(local.Len()) * rcbLevels / cfg.CPU.TreeOpRate)
+		t := tree.Build(local, cfg.Params.LeafSize)
+		batches := tree.BuildBatches(local, cfg.Params.BatchSize)
+		cd := core.NewClusterData(t, cfg.Params.Degree)
+		treeOps := float64(t.Stats.ParticleScans + t.Stats.ParticleMoves +
+			batches.Stats.ParticleScans + batches.Stats.ParticleMoves)
+		hc.Advance(treeOps / cfg.CPU.TreeOpRate)
+		rep.TreeNodes = len(t.Nodes)
+		rep.Batches = len(batches.Batches)
+		setup1 := hc.Now()
+
+		// --- Precompute: modified charges on the device. ---
+		dev.BeginPhase(hc.Now())
+		copyDone := dev.CopyIn(hc.Now(), 4*8*int64(local.Len()))
+		core.LaunchChargeKernels(cd, t, dev, hc, copyDone, cfg.Streams, cfg.ModelOnly)
+		hc.AdvanceTo(dev.Drain())
+		hc.AdvanceTo(dev.CopyOut(hc.Now(), cd.ChargesBytes()))
+		precompute := hc.Now() - setup1
+
+		// --- Setup (part 2): windows, LET, interaction lists. ---
+		np := mac.InterpPoints()
+		var chargesFlat []float64
+		if cfg.ModelOnly {
+			chargesFlat = make([]float64, len(t.Nodes)*np)
+		} else {
+			var err error
+			chargesFlat, err = let.FlattenCharges(cd.Qhat, cfg.Params.Degree)
+			if err != nil {
+				return err
+			}
+		}
+		wins := let.Expose(r, t, chargesFlat, cfg.Params.Degree)
+		r.Barrier() // all charges exposed before anyone gets them
+
+		commStart := hc.Now()
+		getsBefore := r.Stats.GetBytes
+		l, err := let.Build(r, wins, batches, mac)
+		if err != nil {
+			return err
+		}
+		rep.CommTime = hc.Now() - commStart // gets + (small) traversal clock
+		rep.LETClusters = len(l.ClusterQhat)
+		rep.LETLeaves = len(l.Leaves)
+		rep.LETBytes = r.Stats.GetBytes - getsBefore
+		hc.Advance(float64(l.Stats.MACTests) / cfg.CPU.MACTestRate)
+
+		lists := interaction.BuildLists(batches, t, mac)
+		hc.Advance(float64(lists.Stats.MACTests) / cfg.CPU.MACTestRate)
+		rep.Local = lists.Stats
+		rep.Remote = l.Stats
+		setup2 := hc.Now() - setup1 - precompute
+
+		if cfg.OverlapComm {
+			// Extension (paper future work): LET communication overlapped
+			// with the precompute phase hides min(comm, precompute). Only
+			// the reported setup time shrinks; the rank's clock (and hence
+			// kernel submission order) is unchanged, which keeps the
+			// functional results identical with and without overlap.
+			saved := math.Min(rep.CommTime, precompute)
+			setup2 -= saved
+			rep.OverlapSaved = saved
+		}
+
+		// --- Compute: local + LET interaction lists on the device. ---
+		computeStart := hc.Now()
+		dev.BeginPhase(hc.Now())
+		nTg := int64(local.Len())
+		copyDone = dev.CopyIn(hc.Now(), 3*8*nTg+l.Bytes())
+		var phi *device.AccumBuffer
+		if !cfg.ModelOnly {
+			phi = device.NewAccumBuffer(int(nTg))
+		}
+		ln := core.NewLauncher(dev, hc, k, cfg.Streams, false, cfg.Precision, cfg.ModelOnly, copyDone)
+		tg := batches.Targets
+		src := t.Particles
+		for bi := range batches.Batches {
+			b := &batches.Batches[bi]
+			for _, ci := range lists.Direct[bi] {
+				nd := &t.Nodes[ci]
+				ln.LaunchDirect(tg, b.Lo, b.Count(), src, nd.Lo, nd.Hi, phi)
+			}
+			for _, ci := range lists.Approx[bi] {
+				ln.LaunchApprox(tg, b.Lo, b.Count(), cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci], phi)
+			}
+			for _, li := range l.Direct[bi] {
+				leaf := l.Leaves[li]
+				ln.LaunchDirect(tg, b.Lo, b.Count(), leaf, 0, leaf.Len(), phi)
+			}
+			for _, li := range l.Approx[bi] {
+				ln.LaunchApprox(tg, b.Lo, b.Count(),
+					l.ClusterPX[li], l.ClusterPY[li], l.ClusterPZ[li], l.ClusterQhat[li], phi)
+			}
+		}
+		hc.AdvanceTo(dev.Drain())
+		hc.AdvanceTo(dev.CopyOut(hc.Now(), 8*nTg))
+		compute := hc.Now() - computeStart
+
+		rep.Times[perfmodel.PhaseSetup] = setup1 + setup2
+		rep.Times[perfmodel.PhasePrecompute] = precompute
+		rep.Times[perfmodel.PhaseCompute] = compute
+		rep.Comm = r.Stats
+
+		// Scatter local potentials into the global result. The batch
+		// permutation maps batch order back to local-partition order;
+		// orig maps local-partition order to input order.
+		if !cfg.ModelOnly {
+			vals := phi.Values()
+			localPhi := make([]float64, len(vals))
+			batches.Perm.ScatterInto(localPhi, vals)
+			phiMu.Lock()
+			for i, o := range orig {
+				res.Phi[o] = localPhi[i]
+			}
+			phiMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Ranks {
+		res.Times = res.Times.Max(res.Ranks[i].Times)
+	}
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"barytree/internal/core"
+	"barytree/internal/device"
+	"barytree/internal/direct"
+	"barytree/internal/kernel"
+	"barytree/internal/metrics"
+	"barytree/internal/particle"
+	"barytree/internal/perfmodel"
+)
+
+func TestDistributedSinglePrecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := particle.UniformCube(4000, rng)
+	k := kernel.Coulomb{}
+	ref := direct.SumParallel(k, pts, pts, 0)
+	cfg := testConfig(3)
+	cfg.Precision = device.FP32
+	res, err := Run(cfg, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := metrics.RelErr2(ref, res.Phi)
+	if e > 1e-3 || e < 1e-9 {
+		t.Errorf("fp32 distributed error %.3g outside single-precision band", e)
+	}
+}
+
+func TestDistributedNonUniform(t *testing.T) {
+	// A Gaussian blob concentrates particles near the center: RCB
+	// produces very differently-shaped subdomains, and the sqrt(2)
+	// aspect-ratio rule has to keep local trees healthy.
+	rng := rand.New(rand.NewSource(32))
+	pts := particle.GaussianBlob(6000, 0.4, rng)
+	k := kernel.Coulomb{}
+	ref := direct.SumParallel(k, pts, pts, 0)
+	res, err := Run(testConfig(6), k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := metrics.RelErr2(ref, res.Phi); e > 1e-5 {
+		t.Errorf("blob distributed error %.3g", e)
+	}
+	// Load balance: RCB guarantees near-equal counts despite clustering.
+	for r, rep := range res.Ranks {
+		if rep.Particles < 900 || rep.Particles > 1100 {
+			t.Errorf("rank %d holds %d particles, want ~1000", r, rep.Particles)
+		}
+	}
+}
+
+func TestDistributedManyRanksFewParticles(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pts := particle.UniformCube(300, rng)
+	k := kernel.Coulomb{}
+	ref := direct.SumParallel(k, pts, pts, 0)
+	res, err := Run(testConfig(16), k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~19 particles per rank: everything is direct, so the result is
+	// exact up to summation order.
+	if e := metrics.RelErr2(ref, res.Phi); e > 1e-12 {
+		t.Errorf("tiny distributed error %.3g", e)
+	}
+}
+
+func TestPhaseTimesAllPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	pts := particle.UniformCube(5000, rng)
+	res, err := Run(testConfig(4), kernel.Coulomb{}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.Ranks {
+		for ph := perfmodel.PhaseSetup; ph <= perfmodel.PhaseCompute; ph++ {
+			if rep.Times[ph] <= 0 {
+				t.Errorf("rank %d phase %v time %.3g not positive", r, ph, rep.Times[ph])
+			}
+		}
+	}
+	if res.TotalInteractions() == 0 {
+		t.Error("no interactions recorded")
+	}
+}
+
+func TestStreamsOverrideDistributed(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	pts := particle.UniformCube(8000, rng)
+	k := kernel.Coulomb{}
+	base := Config{
+		Ranks:     2,
+		Params:    core.Params{Theta: 0.8, Degree: 5, LeafSize: 1000, BatchSize: 1000},
+		ModelOnly: true,
+	}
+	multi, err := Run(base, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Streams = 1
+	single, err := Run(base, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Times[perfmodel.PhaseCompute] < multi.Times[perfmodel.PhaseCompute] {
+		t.Errorf("1-stream compute %.4g unexpectedly below 4-stream %.4g",
+			single.Times[perfmodel.PhaseCompute], multi.Times[perfmodel.PhaseCompute])
+	}
+}

@@ -1,0 +1,209 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"barytree/internal/core"
+	"barytree/internal/device"
+	"barytree/internal/direct"
+	"barytree/internal/kernel"
+	"barytree/internal/metrics"
+	"barytree/internal/particle"
+	"barytree/internal/perfmodel"
+)
+
+func testConfig(ranks int) Config {
+	return Config{
+		Ranks:  ranks,
+		Params: core.Params{Theta: 0.7, Degree: 5, LeafSize: 150, BatchSize: 150},
+	}
+}
+
+func TestDistributedMatchesDirectSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := particle.UniformCube(6000, rng)
+	k := kernel.Coulomb{}
+	ref := direct.SumParallel(k, pts, pts, 0)
+
+	for _, ranks := range []int{1, 2, 3, 4, 8} {
+		res, err := Run(testConfig(ranks), k, pts)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		e := metrics.RelErr2(ref, res.Phi)
+		if e > 1e-5 || e == 0 {
+			t.Errorf("ranks=%d: error %.3g outside (0, 1e-5]", ranks, e)
+		}
+	}
+}
+
+func TestDistributedYukawa(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := particle.UniformCube(5000, rng)
+	k := kernel.Yukawa{Kappa: 0.5}
+	ref := direct.SumParallel(k, pts, pts, 0)
+	res, err := Run(testConfig(4), k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := metrics.RelErr2(ref, res.Phi); e > 1e-5 {
+		t.Errorf("yukawa error %.3g too large", e)
+	}
+}
+
+func TestSingleRankMatchesSingleDevice(t *testing.T) {
+	// With one rank there is no LET; the result must match the
+	// single-device driver bit-for-bit (same tree, same kernels, same
+	// per-target accumulation order within a launch).
+	rng := rand.New(rand.NewSource(3))
+	pts := particle.UniformCube(3000, rng)
+	k := kernel.Coulomb{}
+	cfg := testConfig(1)
+
+	res, err := Run(cfg, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewPlan(pts, pts, cfg.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devRes := core.RunDevice(pl, k, device.New(perfmodel.P100(), 0), core.DeviceOptions{})
+	if e := metrics.RelErr2(devRes.Phi, res.Phi); e > 1e-14 {
+		t.Errorf("single-rank distributed deviates from single device: %.3g", e)
+	}
+}
+
+func TestRemoteDataActuallyUsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := particle.UniformCube(4000, rng)
+	res, err := Run(testConfig(4), kernel.Coulomb{}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rep := range res.Ranks {
+		if rep.Remote.TotalInteractions() == 0 {
+			t.Errorf("rank %d performed no remote interactions", r)
+		}
+		if rep.LETBytes == 0 {
+			t.Errorf("rank %d fetched no LET data", r)
+		}
+		if rep.Comm.Gets == 0 {
+			t.Errorf("rank %d issued no RMA gets", r)
+		}
+	}
+}
+
+func TestModelOnlyMatchesFunctionalTimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := particle.UniformCube(4000, rng)
+	k := kernel.Coulomb{}
+	cfg := testConfig(3)
+
+	functional, err := Run(cfg, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ModelOnly = true
+	modelOnly, err := Run(cfg, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modelOnly.Phi != nil {
+		t.Error("model-only run returned potentials")
+	}
+	for ph := 0; ph < 3; ph++ {
+		f, m := functional.Times[ph], modelOnly.Times[ph]
+		if diff := (f - m) / f; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("phase %d: functional %.6g vs model-only %.6g", ph, f, m)
+		}
+	}
+}
+
+func TestStrongScalingImprovesTotalTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := particle.UniformCube(30000, rng)
+	k := kernel.Coulomb{}
+	cfg := Config{
+		Ranks:     1,
+		Params:    core.Params{Theta: 0.8, Degree: 6, LeafSize: 2000, BatchSize: 2000},
+		ModelOnly: true,
+	}
+	r1, err := Run(cfg, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ranks = 4
+	r4, err := Run(cfg, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Times.Total() >= r1.Times.Total() {
+		t.Errorf("4 ranks (%.4gs) not faster than 1 rank (%.4gs)",
+			r4.Times.Total(), r1.Times.Total())
+	}
+	speedup := r1.Times.Total() / r4.Times.Total()
+	t.Logf("strong scaling 1->4 ranks: %.2fx", speedup)
+	if speedup > 4.2 {
+		t.Errorf("speedup %.2fx exceeds ideal", speedup)
+	}
+}
+
+func TestOverlapCommReducesSetup(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := particle.UniformCube(12000, rng)
+	k := kernel.Coulomb{}
+	cfg := testConfig(4)
+	cfg.ModelOnly = true
+
+	plain, err := Run(cfg, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.OverlapComm = true
+	overlapped, err := Run(cfg, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlapped.Times[perfmodel.PhaseSetup] >= plain.Times[perfmodel.PhaseSetup] {
+		t.Errorf("overlap did not reduce setup: %.4g vs %.4g",
+			overlapped.Times[perfmodel.PhaseSetup], plain.Times[perfmodel.PhaseSetup])
+	}
+	// Other phases unchanged.
+	if overlapped.Times[perfmodel.PhaseCompute] != plain.Times[perfmodel.PhaseCompute] {
+		t.Errorf("overlap changed compute time")
+	}
+}
+
+func TestOverlapDoesNotChangeResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := particle.UniformCube(3000, rng)
+	k := kernel.Coulomb{}
+	cfg := testConfig(3)
+	plain, err := Run(cfg, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.OverlapComm = true
+	overlapped, err := Run(cfg, k, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Phi {
+		if plain.Phi[i] != overlapped.Phi[i] {
+			t.Fatalf("potential %d differs with overlap", i)
+		}
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := particle.UniformCube(100, rng)
+	if _, err := Run(Config{Ranks: 0, Params: core.DefaultParams()}, kernel.Coulomb{}, pts); err == nil {
+		t.Error("expected error for zero ranks")
+	}
+	if _, err := Run(Config{Ranks: 2, Params: core.Params{Theta: 2}}, kernel.Coulomb{}, pts); err == nil {
+		t.Error("expected error for bad theta")
+	}
+}

@@ -1,0 +1,100 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gradKernels returns every built-in kernel implementing GradKernel.
+func gradKernels() []GradKernel {
+	return []GradKernel{
+		Coulomb{},
+		Yukawa{Kappa: 0.5},
+		Yukawa{Kappa: 2},
+		Gaussian{Sigma: 0.8},
+		Multiquadric{C: 0.7},
+		RegularizedCoulomb{Eps: 0.05},
+	}
+}
+
+func TestEvalGradValueMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range gradKernels() {
+		for trial := 0; trial < 50; trial++ {
+			tx, ty, tz := rng.Float64(), rng.Float64(), rng.Float64()
+			sx, sy, sz := 2+rng.Float64(), rng.Float64(), rng.Float64()
+			g, _, _, _ := k.EvalGrad(tx, ty, tz, sx, sy, sz)
+			want := k.Eval(tx, ty, tz, sx, sy, sz)
+			if math.Abs(g-want) > 1e-14*math.Max(1, math.Abs(want)) {
+				t.Errorf("%s: EvalGrad value %g != Eval %g", k.Name(), g, want)
+			}
+		}
+	}
+}
+
+func TestEvalGradMatchesFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const h = 1e-6
+	for _, k := range gradKernels() {
+		for trial := 0; trial < 30; trial++ {
+			tx, ty, tz := rng.Float64(), rng.Float64(), rng.Float64()
+			// Keep the pair well separated so finite differences are
+			// well conditioned.
+			sx, sy, sz := 2+rng.Float64(), 2+rng.Float64(), rng.Float64()
+			_, gx, gy, gz := k.EvalGrad(tx, ty, tz, sx, sy, sz)
+			fdx := (k.Eval(tx+h, ty, tz, sx, sy, sz) - k.Eval(tx-h, ty, tz, sx, sy, sz)) / (2 * h)
+			fdy := (k.Eval(tx, ty+h, tz, sx, sy, sz) - k.Eval(tx, ty-h, tz, sx, sy, sz)) / (2 * h)
+			fdz := (k.Eval(tx, ty, tz+h, sx, sy, sz) - k.Eval(tx, ty, tz-h, sx, sy, sz)) / (2 * h)
+			scale := math.Max(1e-6, math.Abs(fdx)+math.Abs(fdy)+math.Abs(fdz))
+			if math.Abs(gx-fdx)/scale > 1e-5 || math.Abs(gy-fdy)/scale > 1e-5 || math.Abs(gz-fdz)/scale > 1e-5 {
+				t.Errorf("%s: gradient (%g,%g,%g) vs FD (%g,%g,%g)", k.Name(), gx, gy, gz, fdx, fdy, fdz)
+			}
+		}
+	}
+}
+
+func TestEvalGradSelfInteractionZero(t *testing.T) {
+	for _, k := range gradKernels() {
+		if _, ok := k.(Gaussian); ok {
+			continue // Gaussian has no singularity: G(x,x)=1 is fine
+		}
+		if _, ok := k.(Multiquadric); ok {
+			continue // multiquadric is regular at r=0 too
+		}
+		if _, ok := k.(RegularizedCoulomb); ok {
+			continue // regularized: finite at r=0
+		}
+		g, gx, gy, gz := k.EvalGrad(1, 2, 3, 1, 2, 3)
+		if g != 0 || gx != 0 || gy != 0 || gz != 0 {
+			t.Errorf("%s: self interaction gradient nonzero: %g (%g,%g,%g)", k.Name(), g, gx, gy, gz)
+		}
+	}
+}
+
+func TestGradPointsDownhill(t *testing.T) {
+	// For decaying radial kernels the gradient at the target points away
+	// from the source (potential decreases with distance).
+	for _, k := range []GradKernel{Coulomb{}, Yukawa{Kappa: 0.5}, Gaussian{Sigma: 1}, RegularizedCoulomb{Eps: 0.1}} {
+		_, gx, gy, gz := k.EvalGrad(2, 0, 0, 0, 0, 0)
+		// Direction target-source is +x; a decaying kernel has d/dx < 0.
+		if gx >= 0 || gy != 0 || gz != 0 {
+			t.Errorf("%s: gradient (%g,%g,%g) not pointing downhill", k.Name(), gx, gy, gz)
+		}
+	}
+	// Multiquadric grows with r: gradient points along +x.
+	_, gx, _, _ := (Multiquadric{C: 1}).EvalGrad(2, 0, 0, 0, 0, 0)
+	if gx <= 0 {
+		t.Errorf("multiquadric gradient %g should be positive", gx)
+	}
+}
+
+func TestGradCostExceedsBase(t *testing.T) {
+	for _, k := range gradKernels() {
+		for _, arch := range []Arch{ArchCPU, ArchGPU} {
+			if GradCost(k, arch) <= k.Cost(arch) {
+				t.Errorf("%s: grad cost not above base on %v", k.Name(), arch)
+			}
+		}
+	}
+}

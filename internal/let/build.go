@@ -1,0 +1,211 @@
+package let
+
+import (
+	"fmt"
+
+	"barytree/internal/chebyshev"
+	"barytree/internal/geom"
+	"barytree/internal/interaction"
+	"barytree/internal/mpisim"
+	"barytree/internal/particle"
+	"barytree/internal/tree"
+)
+
+// Windows are the RMA windows one rank exposes for LET construction: its
+// serialized tree arrays, its source particles (tree order, interleaved
+// x,y,z,q with stride 4), and its cluster charges (node-major, (n+1)^3
+// values per node).
+type Windows struct {
+	Geom      *mpisim.Window[float64]
+	Topo      *mpisim.Window[int64]
+	Child     *mpisim.Window[int64]
+	Particles *mpisim.Window[float64]
+	Charges   *mpisim.Window[float64]
+	Degree    int
+}
+
+// InterleaveParticles flattens a particle set into the stride-4 layout of
+// the particle window.
+func InterleaveParticles(s *particle.Set) []float64 {
+	out := make([]float64, 0, 4*s.Len())
+	for i := 0; i < s.Len(); i++ {
+		out = append(out, s.X[i], s.Y[i], s.Z[i], s.Q[i])
+	}
+	return out
+}
+
+// FlattenCharges concatenates per-node modified charges node-major. Every
+// node must carry exactly (degree+1)^3 values.
+func FlattenCharges(qhat [][]float64, degree int) ([]float64, error) {
+	np := (degree + 1) * (degree + 1) * (degree + 1)
+	out := make([]float64, 0, len(qhat)*np)
+	for i, q := range qhat {
+		if len(q) != np {
+			return nil, fmt.Errorf("let: node %d has %d charges, want %d", i, len(q), np)
+		}
+		out = append(out, q...)
+	}
+	return out, nil
+}
+
+// Expose collectively creates the five RMA windows from this rank's local
+// tree and charge data. Every rank must call it at the same point in its
+// execution. The charge slice is shared, not copied, so charges computed
+// *before* Expose are visible to remote Gets.
+func Expose(r *mpisim.Rank, t *tree.Tree, chargesFlat []float64, degree int) *Windows {
+	geomArr, topoArr, childArr := SerializeTree(t)
+	return &Windows{
+		Geom:      mpisim.NewWindow(r, geomArr),
+		Topo:      mpisim.NewWindow(r, topoArr),
+		Child:     mpisim.NewWindow(r, childArr),
+		Particles: mpisim.NewWindow(r, InterleaveParticles(t.Particles)),
+		Charges:   mpisim.NewWindow(r, chargesFlat),
+		Degree:    degree,
+	}
+}
+
+// LET is one rank's locally essential tree: the remote clusters its target
+// batches approximate, the remote leaf particles they interact with
+// directly, and the per-batch interaction lists over them.
+type LET struct {
+	Degree int
+
+	// Fetched remote approximation clusters (flattened interpolation
+	// points plus modified charges).
+	ClusterPX, ClusterPY, ClusterPZ [][]float64
+	ClusterQhat                     [][]float64
+	// Source rank and node of each fetched cluster, for diagnostics.
+	ClusterHome [][2]int32
+
+	// Fetched remote direct-interaction leaves.
+	Leaves   []*particle.Set
+	LeafHome [][2]int32
+
+	// Per-local-batch interaction lists indexing the slices above.
+	Approx [][]int32
+	Direct [][]int32
+
+	// Stats accumulates remote-traversal MAC tests and the interaction
+	// volume added by remote data.
+	Stats interaction.Stats
+}
+
+// Build constructs this rank's LET: for every remote rank it gets the tree
+// arrays, traverses them against the local target batches with the MAC, and
+// gets exactly the cluster charges and source particles the resulting
+// interaction lists require. All communication is one-sided; no remote rank
+// participates.
+func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interaction.MAC) (*LET, error) {
+	l := &LET{
+		Degree: wins.Degree,
+		Approx: make([][]int32, len(batches.Batches)),
+		Direct: make([][]int32, len(batches.Batches)),
+	}
+	np := mac.InterpPoints()
+	for remote := 0; remote < r.Size(); remote++ {
+		if remote == r.ID() {
+			continue
+		}
+		// Step 1: get the remote tree arrays and build interaction lists.
+		geomArr := wins.Geom.GetAll(r, remote)
+		topoArr := wins.Topo.GetAll(r, remote)
+		childArr := wins.Child.GetAll(r, remote)
+		view, err := Deserialize(geomArr, topoArr, childArr)
+		if err != nil {
+			return nil, fmt.Errorf("let: rank %d decoding rank %d tree: %w", r.ID(), remote, err)
+		}
+		if view.N == 0 {
+			continue
+		}
+
+		approxIdx := map[int32]int32{} // remote node -> LET cluster index
+		directIdx := map[int32]int32{} // remote node -> LET leaf index
+		var approxNodes, directNodes []int32
+
+		for bi := range batches.Batches {
+			b := &batches.Batches[bi]
+			nb := int64(b.Count())
+			stack := []int32{0}
+			for len(stack) > 0 {
+				ci := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				l.Stats.MACTests++
+				dx := b.Center.X - view.CX[ci]
+				dy := b.Center.Y - view.CY[ci]
+				dz := b.Center.Z - view.CZ[ci]
+				dist := geom.Vec3{X: dx, Y: dy, Z: dz}.Norm()
+				switch mac.Test(dist, b.Radius, view.R[ci], int(view.Count[ci]), view.IsLeaf(ci)) {
+				case interaction.Approximate:
+					li, ok := approxIdx[ci]
+					if !ok {
+						li = int32(len(l.ClusterPX) + len(approxNodes))
+						approxIdx[ci] = li
+						approxNodes = append(approxNodes, ci)
+					}
+					l.Approx[bi] = append(l.Approx[bi], li)
+					l.Stats.ApproxPairs++
+					l.Stats.ApproxInteractions += nb * int64(np)
+				case interaction.Direct:
+					li, ok := directIdx[ci]
+					if !ok {
+						li = int32(len(l.Leaves) + len(directNodes))
+						directIdx[ci] = li
+						directNodes = append(directNodes, ci)
+					}
+					l.Direct[bi] = append(l.Direct[bi], li)
+					l.Stats.DirectPairs++
+					l.Stats.DirectInteractions += nb * int64(view.Count[ci])
+				case interaction.Recurse:
+					stack = append(stack, view.ChildrenOf(ci)...)
+				}
+			}
+		}
+
+		// Step 2: get the cluster charges and particles the lists demand.
+		if len(approxNodes) > 0 {
+			wins.Charges.Lock(remote)
+			for _, ci := range approxNodes {
+				qhat := make([]float64, np)
+				wins.Charges.Get(r, remote, int(ci)*np, qhat)
+				g := chebyshev.NewGrid3D(wins.Degree, view.Boxes[ci])
+				px, py, pz := g.FlattenedPoints()
+				l.ClusterPX = append(l.ClusterPX, px)
+				l.ClusterPY = append(l.ClusterPY, py)
+				l.ClusterPZ = append(l.ClusterPZ, pz)
+				l.ClusterQhat = append(l.ClusterQhat, qhat)
+				l.ClusterHome = append(l.ClusterHome, [2]int32{int32(remote), ci})
+			}
+			wins.Charges.Unlock(remote)
+		}
+		if len(directNodes) > 0 {
+			wins.Particles.Lock(remote)
+			for _, ci := range directNodes {
+				count := int(view.Count[ci])
+				buf := make([]float64, 4*count)
+				wins.Particles.Get(r, remote, int(view.Lo[ci])*4, buf)
+				set := particle.NewSet(count)
+				for j := 0; j < count; j++ {
+					set.Append(buf[4*j], buf[4*j+1], buf[4*j+2], buf[4*j+3])
+				}
+				l.Leaves = append(l.Leaves, set)
+				l.LeafHome = append(l.LeafHome, [2]int32{int32(remote), ci})
+			}
+			wins.Particles.Unlock(remote)
+		}
+	}
+	return l, nil
+}
+
+// Bytes returns the approximate size of the LET's fetched payload (cluster
+// charges plus particles), i.e. the HtD volume the compute phase must copy
+// in addition to local data.
+func (l *LET) Bytes() int64 {
+	var n int64
+	for _, q := range l.ClusterQhat {
+		n += int64(len(q)) * 8
+	}
+	for _, s := range l.Leaves {
+		n += int64(s.Len()) * 4 * 8
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+// Package let implements locally essential trees (Warren & Salmon), the
+// distributed-memory core of the paper's Section 3.1: after recursive
+// coordinate bisection, each rank owns a local source tree, exposes its
+// tree arrays, source particles and cluster charges through RMA windows,
+// and then — entirely one-sidedly — pulls from every remote rank (1) the
+// tree arrays, from which it builds interaction lists for its local target
+// batches, and (2) exactly the remote clusters and source particles those
+// lists demand. The union of fetched data is the rank's LET.
+package let
+
+import (
+	"fmt"
+
+	"barytree/internal/geom"
+	"barytree/internal/tree"
+)
+
+// Serialization layout of the tree arrays exposed through RMA windows.
+const (
+	// GeomStride is the number of float64s per node in the geometry array:
+	// center (3), radius (1), box lo corner (3), box hi corner (3).
+	GeomStride = 10
+	// TopoStride is the number of int64s per node in the topology array:
+	// child start, child count, particle lo, particle count.
+	TopoStride = 4
+)
+
+// SerializeTree flattens a cluster tree into the three arrays placed in RMA
+// windows: per-node geometry (float64), per-node topology (int64), and the
+// concatenated child-index list (int64).
+func SerializeTree(t *tree.Tree) (geomArr []float64, topoArr, childArr []int64) {
+	n := len(t.Nodes)
+	geomArr = make([]float64, 0, n*GeomStride)
+	topoArr = make([]int64, 0, n*TopoStride)
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		geomArr = append(geomArr,
+			nd.Center.X, nd.Center.Y, nd.Center.Z, nd.Radius,
+			nd.Box.Lo.X, nd.Box.Lo.Y, nd.Box.Lo.Z,
+			nd.Box.Hi.X, nd.Box.Hi.Y, nd.Box.Hi.Z,
+		)
+		topoArr = append(topoArr,
+			int64(len(childArr)), int64(len(nd.Children)),
+			int64(nd.Lo), int64(nd.Count()),
+		)
+		for _, c := range nd.Children {
+			childArr = append(childArr, int64(c))
+		}
+	}
+	return geomArr, topoArr, childArr
+}
+
+// TreeView is a remote tree decoded from its serialized arrays: enough
+// structure to run the MAC traversal without owning the remote particles.
+type TreeView struct {
+	N          int
+	CX, CY, CZ []float64 // cluster centers
+	R          []float64 // cluster radii
+	Lo, Count  []int32   // particle ranges (remote tree order)
+	ChildStart []int32   // offset into Children
+	ChildCount []int32
+	Children   []int32
+	Boxes      []geom.Box
+}
+
+// Deserialize decodes the serialized tree arrays. It returns an error if
+// the arrays are structurally inconsistent.
+func Deserialize(geomArr []float64, topoArr, childArr []int64) (*TreeView, error) {
+	if len(geomArr)%GeomStride != 0 {
+		return nil, fmt.Errorf("let: geometry array length %d not a multiple of %d", len(geomArr), GeomStride)
+	}
+	n := len(geomArr) / GeomStride
+	if len(topoArr) != n*TopoStride {
+		return nil, fmt.Errorf("let: topology array length %d, want %d", len(topoArr), n*TopoStride)
+	}
+	v := &TreeView{
+		N:          n,
+		CX:         make([]float64, n),
+		CY:         make([]float64, n),
+		CZ:         make([]float64, n),
+		R:          make([]float64, n),
+		Lo:         make([]int32, n),
+		Count:      make([]int32, n),
+		ChildStart: make([]int32, n),
+		ChildCount: make([]int32, n),
+		Children:   make([]int32, len(childArr)),
+		Boxes:      make([]geom.Box, n),
+	}
+	for i := 0; i < n; i++ {
+		g := geomArr[i*GeomStride:]
+		v.CX[i], v.CY[i], v.CZ[i], v.R[i] = g[0], g[1], g[2], g[3]
+		v.Boxes[i] = geom.Box{
+			Lo: geom.Vec3{X: g[4], Y: g[5], Z: g[6]},
+			Hi: geom.Vec3{X: g[7], Y: g[8], Z: g[9]},
+		}
+		tp := topoArr[i*TopoStride:]
+		v.ChildStart[i] = int32(tp[0])
+		v.ChildCount[i] = int32(tp[1])
+		v.Lo[i] = int32(tp[2])
+		v.Count[i] = int32(tp[3])
+		if int(tp[0])+int(tp[1]) > len(childArr) {
+			return nil, fmt.Errorf("let: node %d children [%d,%d) out of bounds %d",
+				i, tp[0], tp[0]+tp[1], len(childArr))
+		}
+	}
+	for i, c := range childArr {
+		if c < 0 || int(c) >= n {
+			return nil, fmt.Errorf("let: child entry %d references invalid node %d", i, c)
+		}
+		v.Children[i] = int32(c)
+	}
+	return v, nil
+}
+
+// IsLeaf reports whether node i of the view has no children.
+func (v *TreeView) IsLeaf(i int32) bool { return v.ChildCount[i] == 0 }
+
+// ChildrenOf returns the child node indices of node i.
+func (v *TreeView) ChildrenOf(i int32) []int32 {
+	s := v.ChildStart[i]
+	return v.Children[s : s+v.ChildCount[i]]
+}

@@ -1,0 +1,97 @@
+// Package metrics provides the error norms of the paper's Section 4: the
+// relative 2-norm error of treecode potentials against direct-summation
+// references (equation (16)), including the sampled variant used for large
+// systems, plus small summary-statistics helpers for the benchmark harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RelErr2 returns the relative 2-norm error
+//
+//	E = sqrt( sum_i (ref_i - approx_i)^2 / sum_i ref_i^2 ).
+//
+// It panics if the slices differ in length and returns 0 for empty input.
+// A zero reference norm with a nonzero difference returns +Inf.
+func RelErr2(ref, approx []float64) float64 {
+	if len(ref) != len(approx) {
+		panic(fmt.Sprintf("metrics: RelErr2 length mismatch %d vs %d", len(ref), len(approx)))
+	}
+	var num, den float64
+	for i := range ref {
+		d := ref[i] - approx[i]
+		num += d * d
+		den += ref[i] * ref[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}
+
+// MaxAbsErr returns max_i |ref_i - approx_i|.
+func MaxAbsErr(ref, approx []float64) float64 {
+	if len(ref) != len(approx) {
+		panic(fmt.Sprintf("metrics: MaxAbsErr length mismatch %d vs %d", len(ref), len(approx)))
+	}
+	var m float64
+	for i := range ref {
+		if d := math.Abs(ref[i] - approx[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// SampleIndices returns k distinct indices drawn uniformly from [0, n). If
+// k >= n it returns all indices 0..n-1. The result is sorted ascending.
+func SampleIndices(n, k int, rng *rand.Rand) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Floyd's algorithm for a uniform k-subset.
+	chosen := make(map[int]struct{}, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			chosen[j] = struct{}{}
+		} else {
+			chosen[t] = struct{}{}
+		}
+	}
+	out := make([]int, 0, k)
+	for i := range chosen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Gather returns v[idx[0]], v[idx[1]], ... as a new slice.
+func Gather(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = v[j]
+	}
+	return out
+}
+
+// Digits converts a relative error into "digits of accuracy",
+// -log10(err); an error of 0 reports +Inf digits.
+func Digits(err float64) float64 {
+	if err <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log10(err)
+}

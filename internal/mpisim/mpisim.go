@@ -1,0 +1,276 @@
+// Package mpisim is an in-process substitute for the MPI layer of the
+// paper's distributed implementation: ranks run as goroutines inside one
+// communicator, communicate through typed one-sided RMA windows with
+// passive-target synchronization (lock / get / put / flush / unlock), and
+// synchronize with barriers — the exact primitives the BLTC's locally
+// essential tree construction uses (Section 3.1).
+//
+// Alongside the functional semantics, every communication operation
+// advances the origin rank's virtual clock according to a network cost
+// model (latency + bytes/bandwidth, with distinct intra-node parameters),
+// so communication time is derived from exactly-counted traffic. Barriers
+// synchronize the virtual clocks to their maximum, mirroring how
+// barrier-separated phases aggregate across ranks on a real machine.
+package mpisim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"barytree/internal/perfmodel"
+)
+
+// Comm is a communicator: a fixed group of ranks with a shared network
+// model. Create one with Run.
+type Comm struct {
+	size int
+	net  perfmodel.NetworkSpec
+
+	barrier *barrier
+
+	winMu      sync.Mutex
+	windows    map[int]any // creation-order id -> *winShared[T]
+	winAborted bool        // set by abortAll; blocks further window creation
+
+	collMu sync.Mutex
+	colls  map[int]*collective
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Net returns the communicator's network model.
+func (c *Comm) Net() perfmodel.NetworkSpec { return c.net }
+
+// Rank is the per-goroutine handle to the communicator. Rank methods must
+// only be called from the goroutine that owns the rank.
+type Rank struct {
+	comm *Comm
+	id   int
+	// Clock is the rank's virtual clock in modeled seconds. Computation
+	// models advance it directly; communication and barriers advance it
+	// through this package.
+	Clock perfmodel.Clock
+
+	winSeq  int
+	collSeq int
+
+	// Stats counts this rank's communication activity.
+	Stats CommStats
+}
+
+// CommStats counts one rank's communication operations and volume.
+type CommStats struct {
+	Gets     int
+	Puts     int
+	GetBytes int64
+	PutBytes int64
+	Barriers int
+}
+
+// ID returns the rank number in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.size }
+
+// Comm returns the communicator.
+func (r *Rank) Comm() *Comm { return r.comm }
+
+// Run creates a communicator of the given size and runs fn concurrently on
+// every rank, returning the first non-nil error (all ranks are always
+// joined). size must be >= 1. A panic in any rank is re-raised after all
+// ranks stop.
+func Run(size int, net perfmodel.NetworkSpec, fn func(r *Rank) error) error {
+	if size < 1 {
+		return fmt.Errorf("mpisim: communicator size must be >= 1, got %d", size)
+	}
+	c := &Comm{
+		size:    size,
+		net:     net,
+		barrier: newBarrier(size),
+		windows: map[int]any{},
+		colls:   map[int]*collective{},
+	}
+	errs := make([]error, size)
+	panics := make([]any, size)
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[id] = p
+					// Release any ranks blocked in collectives (barriers
+					// or window creation) so the program fails loudly
+					// instead of deadlocking.
+					c.abortAll()
+				}
+			}()
+			errs[id] = fn(&Rank{comm: c, id: id})
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aborter is implemented by collective structures that can be woken when a
+// rank dies (see Run's panic recovery).
+type aborter interface{ abort() }
+
+// abortAll aborts the barrier, every window-creation wait, and all future
+// window creation on this communicator.
+func (c *Comm) abortAll() {
+	c.barrier.abort()
+	c.winMu.Lock()
+	defer c.winMu.Unlock()
+	c.winAborted = true
+	for _, raw := range c.windows {
+		if a, ok := raw.(aborter); ok {
+			a.abort()
+		}
+	}
+}
+
+// Barrier blocks until every rank has entered it, then synchronizes the
+// virtual clocks: all ranks leave with clock = max over ranks plus a small
+// modeled barrier cost (log2(P) network latencies).
+func (r *Rank) Barrier() {
+	r.Stats.Barriers++
+	cost := r.comm.net.Latency * math.Ceil(math.Log2(float64(r.comm.size)))
+	if r.comm.size == 1 {
+		r.Clock.Advance(0)
+		return
+	}
+	maxClock := r.comm.barrier.sync(r.Clock.Now())
+	r.Clock.AdvanceTo(maxClock + cost)
+}
+
+// barrier is a reusable sense-reversing barrier that also reduces the
+// maximum of a float64 contributed by each rank.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	waiting int
+	gen     int
+	maxVal  float64
+	result  float64
+	aborted bool
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// sync enters the barrier contributing v and returns the maximum over all
+// ranks' contributions for this generation.
+func (b *barrier) sync(v float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		panic("mpisim: barrier aborted because a rank panicked")
+	}
+	gen := b.gen
+	if v > b.maxVal {
+		b.maxVal = v
+	}
+	b.waiting++
+	if b.waiting == b.size {
+		b.result = b.maxVal
+		b.maxVal = math.Inf(-1)
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.result
+	}
+	for b.gen == gen && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted {
+		panic("mpisim: barrier aborted because a rank panicked")
+	}
+	return b.result
+}
+
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// collective is the shared state of one AllGather-style operation.
+type collective struct {
+	once  sync.Once
+	slots []any
+}
+
+func (c *Comm) getCollective(seq int) *collective {
+	c.collMu.Lock()
+	defer c.collMu.Unlock()
+	col, ok := c.colls[seq]
+	if !ok {
+		col = &collective{slots: make([]any, c.size)}
+		c.colls[seq] = col
+	}
+	return col
+}
+
+// AllGather gathers one value from every rank, returning the slice indexed
+// by rank. It is collective: every rank must call it in the same order
+// relative to other collectives. The modeled cost is a tree exchange:
+// ceil(log2 P) latencies plus the payload bytes (payloadBytes per value).
+func AllGather[T any](r *Rank, v T, payloadBytes int) []T {
+	seq := r.collSeq
+	r.collSeq++
+	col := r.comm.getCollective(seq)
+	col.slots[r.id] = v
+	r.Barrier()
+	out := make([]T, r.comm.size)
+	for i, s := range col.slots {
+		out[i] = s.(T)
+	}
+	steps := math.Ceil(math.Log2(float64(r.comm.size)))
+	if r.comm.size > 1 {
+		r.Clock.Advance(steps * (r.comm.net.Latency + float64(payloadBytes*r.comm.size)/r.comm.net.Bandwidth))
+	}
+	r.Barrier()
+	return out
+}
+
+// AllReduceMax returns the maximum of v over all ranks.
+func AllReduceMax(r *Rank, v float64) float64 {
+	vals := AllGather(r, v, 8)
+	m := math.Inf(-1)
+	for _, x := range vals {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// AllReduceSum returns the sum of v over all ranks.
+func AllReduceSum(r *Rank, v float64) float64 {
+	vals := AllGather(r, v, 8)
+	var s float64
+	for _, x := range vals {
+		s += x
+	}
+	return s
+}

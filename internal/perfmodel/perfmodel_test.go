@@ -1,0 +1,145 @@
+package perfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at 0")
+	}
+	c.Advance(1.5)
+	c.Advance(0.5)
+	if c.Now() != 2 {
+		t.Fatalf("clock = %g", c.Now())
+	}
+	c.AdvanceTo(1) // past: no-op
+	if c.Now() != 2 {
+		t.Fatalf("AdvanceTo moved clock backwards to %g", c.Now())
+	}
+	c.AdvanceTo(3)
+	if c.Now() != 3 {
+		t.Fatalf("AdvanceTo = %g", c.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance should panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestPhaseTimes(t *testing.T) {
+	a := PhaseTimes{1, 2, 3}
+	b := PhaseTimes{2, 1, 5}
+	if a.Total() != 6 {
+		t.Errorf("total = %g", a.Total())
+	}
+	sum := a.Add(b)
+	if sum != (PhaseTimes{3, 3, 8}) {
+		t.Errorf("add = %v", sum)
+	}
+	max := a.Max(b)
+	if max != (PhaseTimes{2, 2, 5}) {
+		t.Errorf("max = %v", max)
+	}
+	// Originals unchanged (value semantics).
+	if a != (PhaseTimes{1, 2, 3}) {
+		t.Errorf("a mutated: %v", a)
+	}
+	s := a.String()
+	if !strings.Contains(s, "setup=1") || !strings.Contains(s, "total=6") {
+		t.Errorf("string = %q", s)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseSetup.String() != "setup" || PhasePrecompute.String() != "precompute" || PhaseCompute.String() != "compute" {
+		t.Error("phase names wrong")
+	}
+}
+
+func TestGPUPeaks(t *testing.T) {
+	// Published peak fp64 numbers: Titan V ~7.45 Tflop/s, P100 ~5.3.
+	tv := TitanV().PeakFlops()
+	if tv < 7.2e12 || tv > 7.7e12 {
+		t.Errorf("Titan V peak %g outside published band", tv)
+	}
+	p := P100().PeakFlops()
+	if p < 5.0e12 || p > 5.6e12 {
+		t.Errorf("P100 peak %g outside published band", p)
+	}
+}
+
+func TestGPUEffectiveBelowPeak(t *testing.T) {
+	for _, g := range []GPUSpec{TitanV(), P100()} {
+		if g.EffectiveFlopRate() >= g.PeakFlops() {
+			t.Errorf("%s effective rate above peak", g.Name)
+		}
+		if g.EffectiveFlopRate() <= 0 {
+			t.Errorf("%s effective rate non-positive", g.Name)
+		}
+		if g.ThreadCapacity() != g.SMs*g.MaxThreadsPerSM {
+			t.Errorf("%s thread capacity wrong", g.Name)
+		}
+		if g.Streams != 4 {
+			t.Errorf("%s should default to 4 streams (paper)", g.Name)
+		}
+	}
+}
+
+func TestCPUSpec(t *testing.T) {
+	c := XeonX5650()
+	if c.Cores != 6 {
+		t.Errorf("X5650 has %d cores", c.Cores)
+	}
+	if c.ParallelFlopRate() != 6*c.FlopEqRate {
+		t.Errorf("parallel rate wrong")
+	}
+}
+
+func TestGPUvsCPURatioBand(t *testing.T) {
+	// The calibration target: Titan V sustained rate >= 100x the 6-core
+	// X5650 (Figure 4's "at least 100x faster" claim), but below the raw
+	// peak ratio (~470x).
+	ratio := TitanV().EffectiveFlopRate() / XeonX5650().ParallelFlopRate()
+	if ratio < 90 || ratio > 250 {
+		t.Errorf("Titan V / X5650 sustained ratio %.0f outside calibration band [90, 250]", ratio)
+	}
+}
+
+func TestNetworkTransferTime(t *testing.T) {
+	ns := CometIB()
+	if ns.TransferTime(3, 3, 1<<30) != 0 {
+		t.Error("self transfer should be free")
+	}
+	// Same node (ranks 0-3), different node (0 vs 4).
+	intra := ns.TransferTime(0, 3, 1<<20)
+	inter := ns.TransferTime(0, 4, 1<<20)
+	if intra >= inter {
+		t.Errorf("intra %g >= inter %g", intra, inter)
+	}
+	wantInter := ns.Latency + float64(1<<20)/ns.Bandwidth
+	if math.Abs(inter-wantInter) > 1e-12 {
+		t.Errorf("inter = %g, want %g", inter, wantInter)
+	}
+	// Zero bytes costs one latency.
+	if got := ns.TransferTime(0, 5, 0); got != ns.Latency {
+		t.Errorf("zero-byte transfer = %g", got)
+	}
+}
+
+func TestNetworkMonotoneInBytes(t *testing.T) {
+	ns := CometIB()
+	prev := 0.0
+	for _, b := range []int{0, 1 << 10, 1 << 20, 1 << 30} {
+		got := ns.TransferTime(0, 7, b)
+		if got <= prev && b > 0 {
+			t.Errorf("transfer time not monotone at %d bytes", b)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,259 @@
+// Package rcb implements recursive coordinate bisection, the domain
+// decomposition the paper performs with the Zoltan library (Section 3.1):
+// the domain is recursively cut by hyperplanes perpendicular to coordinate
+// axes, each cut balancing the number of particles against the number of
+// ranks assigned to each side. Rank counts need not be powers of two — a
+// group of 6 ranks first splits 3/3, then each side splits 2/1 with the
+// cut placed at the 2/3 particle quantile, reproducing Figure 2(b).
+package rcb
+
+import (
+	"fmt"
+	"sort"
+
+	"barytree/internal/geom"
+	"barytree/internal/particle"
+)
+
+// Cut records one bisection: the region it divided, the cut dimension and
+// coordinate, and how many ranks went to each side.
+type Cut struct {
+	Region     geom.Box
+	Dim        int
+	Coord      float64
+	LeftRanks  int
+	RightRanks int
+}
+
+// Decomposition is the result of recursive coordinate bisection.
+type Decomposition struct {
+	Parts int
+	// Owner[i] is the rank assigned particle i (input index).
+	Owner []int
+	// Region[r] is the box of subdomain r (the domain recursively cut by
+	// the hyperplanes).
+	Region []geom.Box
+	// Count[r] is the number of particles assigned to rank r.
+	Count []int
+	// Cuts records every bisection in recursion order (root first).
+	Cuts []Cut
+	// Scans counts particle visits during partitioning, for the
+	// performance model.
+	Scans int
+}
+
+// Partition decomposes the particles of s into parts subdomains over the
+// given domain box (pass s.Bounds() or the enclosing physical domain). It
+// panics if parts < 1; parts may exceed the particle count, in which case
+// some ranks receive zero particles.
+func Partition(s *particle.Set, parts int, domain geom.Box) *Decomposition {
+	if parts < 1 {
+		panic(fmt.Sprintf("rcb: parts must be >= 1, got %d", parts))
+	}
+	d := &Decomposition{
+		Parts:  parts,
+		Owner:  make([]int, s.Len()),
+		Region: make([]geom.Box, parts),
+		Count:  make([]int, parts),
+	}
+	idx := make([]int, s.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	d.recurse(s, idx, 0, parts, domain)
+	return d
+}
+
+// recurse assigns the particles in idx to ranks [rank0, rank0+nranks) over
+// the given region.
+func (d *Decomposition) recurse(s *particle.Set, idx []int, rank0, nranks int, region geom.Box) {
+	if nranks == 1 {
+		d.Region[rank0] = region
+		d.Count[rank0] = len(idx)
+		for _, i := range idx {
+			d.Owner[i] = rank0
+		}
+		return
+	}
+	left := nranks / 2
+	right := nranks - left
+	dim := cutDim(region)
+	// The cut index balances particles proportionally to rank counts.
+	k := len(idx) * left / nranks
+	coord := selectKth(s, idx, dim, k)
+	d.Scans += len(idx)
+
+	lo, hi := region.Interval(dim)
+	if coord < lo {
+		coord = lo
+	}
+	if coord > hi {
+		coord = hi
+	}
+	d.Cuts = append(d.Cuts, Cut{
+		Region:     region,
+		Dim:        dim,
+		Coord:      coord,
+		LeftRanks:  left,
+		RightRanks: right,
+	})
+	leftRegion := region
+	leftRegion.Hi = region.Hi.WithComponent(dim, coord)
+	rightRegion := region
+	rightRegion.Lo = region.Lo.WithComponent(dim, coord)
+
+	d.recurse(s, idx[:k], rank0, left, leftRegion)
+	d.recurse(s, idx[k:], rank0+left, right, rightRegion)
+}
+
+// cutDim picks the dimension to bisect: the longest side of the region,
+// breaking ties toward the highest dimension index. For the unit square of
+// Figure 2 (z degenerate, x and y tied) this selects y first, then x,
+// matching the figure.
+func cutDim(region geom.Box) int {
+	s := region.Size()
+	sides := [3]float64{s.X, s.Y, s.Z}
+	dim := 0
+	for dm := 1; dm < 3; dm++ {
+		if sides[dm] >= sides[dim] {
+			dim = dm
+		}
+	}
+	return dim
+}
+
+// selectKth reorders idx so that the k particles with the smallest
+// coordinate along dim come first, and returns the cut coordinate (the
+// smallest coordinate of the right part, i.e. the k-th order statistic).
+// k = 0 or k = len(idx) are degenerate and return the region-agnostic
+// extremes. Runs in expected O(n) via quickselect with median-of-three
+// pivots and a deterministic fallback.
+func selectKth(s *particle.Set, idx []int, dim, k int) float64 {
+	coord := s.X
+	switch dim {
+	case 1:
+		coord = s.Y
+	case 2:
+		coord = s.Z
+	}
+	if len(idx) == 0 {
+		return 0
+	}
+	if k <= 0 {
+		min := coord[idx[0]]
+		for _, i := range idx {
+			if coord[i] < min {
+				min = coord[i]
+			}
+		}
+		return min
+	}
+	if k >= len(idx) {
+		max := coord[idx[0]]
+		for _, i := range idx {
+			if coord[i] > max {
+				max = coord[i]
+			}
+		}
+		return max
+	}
+	lo, hi := 0, len(idx)
+	for hi-lo > 32 {
+		p := medianOfThree(coord, idx, lo, hi)
+		i, j := lo, hi-1
+		for i <= j {
+			for coord[idx[i]] < p {
+				i++
+			}
+			for coord[idx[j]] > p {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			// k landed between j and i: all elements there equal the pivot.
+			return coord[idx[k]]
+		}
+	}
+	sub := idx[lo:hi]
+	sort.Slice(sub, func(a, b int) bool { return coord[sub[a]] < coord[sub[b]] })
+	return coord[idx[k]]
+}
+
+// medianOfThree returns the median coordinate of the first, middle and last
+// elements of idx[lo:hi].
+func medianOfThree(coord []float64, idx []int, lo, hi int) float64 {
+	a := coord[idx[lo]]
+	b := coord[idx[(lo+hi)/2]]
+	c := coord[idx[hi-1]]
+	switch {
+	case (a <= b && b <= c) || (c <= b && b <= a):
+		return b
+	case (b <= a && a <= c) || (c <= a && a <= b):
+		return a
+	}
+	return c
+}
+
+// Extract returns rank r's particles as a new set together with their
+// original indices (so results can be scattered back).
+func (d *Decomposition) Extract(s *particle.Set, r int) (*particle.Set, []int) {
+	out := particle.NewSet(d.Count[r])
+	orig := make([]int, 0, d.Count[r])
+	for i := 0; i < s.Len(); i++ {
+		if d.Owner[i] == r {
+			out.Append(s.X[i], s.Y[i], s.Z[i], s.Q[i])
+			orig = append(orig, i)
+		}
+	}
+	return out, orig
+}
+
+// Validate checks the decomposition invariants: every particle assigned to
+// exactly one in-range rank, counts consistent, regions tile the domain
+// (pairwise disjoint interiors and union equal to the domain volume), and
+// load balance within the quantile-split guarantee.
+func (d *Decomposition) Validate(s *particle.Set, domain geom.Box) error {
+	counts := make([]int, d.Parts)
+	for i, r := range d.Owner {
+		if r < 0 || r >= d.Parts {
+			return fmt.Errorf("rcb: particle %d assigned to invalid rank %d", i, r)
+		}
+		counts[r]++
+	}
+	for r, c := range counts {
+		if c != d.Count[r] {
+			return fmt.Errorf("rcb: rank %d count mismatch: recorded %d, actual %d", r, d.Count[r], c)
+		}
+	}
+	var vol float64
+	for r, box := range d.Region {
+		if !domain.ContainsBox(box) {
+			return fmt.Errorf("rcb: rank %d region %v escapes domain %v", r, box, domain)
+		}
+		vol += box.Volume()
+	}
+	if dv := domain.Volume(); dv > 0 {
+		if rel := (vol - dv) / dv; rel > 1e-9 || rel < -1e-9 {
+			return fmt.Errorf("rcb: region volumes sum to %g, domain volume %g", vol, dv)
+		}
+	}
+	// Quantile splits guarantee |count - N/P| < P (each cut rounds once).
+	n := s.Len()
+	for r, c := range counts {
+		ideal := float64(n) / float64(d.Parts)
+		if diff := float64(c) - ideal; diff > float64(d.Parts)+1 || diff < -float64(d.Parts)-1 {
+			return fmt.Errorf("rcb: rank %d load %d deviates from ideal %.1f by more than P+1", r, c, ideal)
+		}
+	}
+	return nil
+}

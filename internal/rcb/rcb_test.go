@@ -1,0 +1,249 @@
+package rcb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"barytree/internal/geom"
+	"barytree/internal/particle"
+)
+
+// unitSquare returns n particles uniform in the unit square [0,1]^2 (z=0),
+// the Figure 2 workload.
+func unitSquare(n int, seed int64) *particle.Set {
+	rng := rand.New(rand.NewSource(seed))
+	s := particle.NewSet(n)
+	for i := 0; i < n; i++ {
+		s.Append(rng.Float64(), rng.Float64(), 0, 1)
+	}
+	return s
+}
+
+func unitSquareDomain() geom.Box {
+	return geom.Box{Lo: geom.Vec3{X: 0, Y: 0, Z: 0}, Hi: geom.Vec3{X: 1, Y: 1, Z: 0}}
+}
+
+func TestFig2aFourPartitions(t *testing.T) {
+	// Figure 2(a): the unit square into 4 partitions, first cut in y at
+	// ~0.5, each partition owning area ~1/4.
+	s := unitSquare(40000, 1)
+	domain := unitSquareDomain()
+	d := Partition(s, 4, domain)
+	if err := d.Validate(s, domain); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cuts) != 3 {
+		t.Fatalf("got %d cuts, want 3", len(d.Cuts))
+	}
+	first := d.Cuts[0]
+	if first.Dim != 1 {
+		t.Errorf("first cut in dim %d, want y (1)", first.Dim)
+	}
+	if math.Abs(first.Coord-0.5) > 0.02 {
+		t.Errorf("first cut at y=%.4f, want ~0.5", first.Coord)
+	}
+	if first.LeftRanks != 2 || first.RightRanks != 2 {
+		t.Errorf("first cut splits ranks %d/%d, want 2/2", first.LeftRanks, first.RightRanks)
+	}
+	for r := 0; r < 4; r++ {
+		// Project to 2D area (z side is zero): use x*y spans.
+		sz := d.Region[r].Size()
+		area := sz.X * sz.Y
+		if math.Abs(area-0.25) > 0.03 {
+			t.Errorf("rank %d area %.4f, want ~0.25", r, area)
+		}
+	}
+}
+
+func TestFig2bSixPartitions(t *testing.T) {
+	// Figure 2(b): 6 partitions; first bisection in y at 0.5 assigns 3
+	// ranks to each half; each partition owns area ~1/6.
+	s := unitSquare(60000, 2)
+	domain := unitSquareDomain()
+	d := Partition(s, 6, domain)
+	if err := d.Validate(s, domain); err != nil {
+		t.Fatal(err)
+	}
+	first := d.Cuts[0]
+	if first.Dim != 1 {
+		t.Errorf("first cut in dim %d, want y (1)", first.Dim)
+	}
+	if math.Abs(first.Coord-0.5) > 0.02 {
+		t.Errorf("first cut at y=%.4f, want ~0.5", first.Coord)
+	}
+	if first.LeftRanks != 3 || first.RightRanks != 3 {
+		t.Errorf("first cut splits ranks %d/%d, want 3/3", first.LeftRanks, first.RightRanks)
+	}
+	for r := 0; r < 6; r++ {
+		sz := d.Region[r].Size()
+		area := sz.X * sz.Y
+		if math.Abs(area-1.0/6) > 0.03 {
+			t.Errorf("rank %d area %.4f, want ~%.4f", r, area, 1.0/6)
+		}
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, parts := range []int{1, 2, 3, 5, 7, 8, 16, 32} {
+		s := particle.UniformCube(10000, rng)
+		d := Partition(s, parts, s.Bounds())
+		if err := d.Validate(s, s.Bounds()); err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		min, max := s.Len(), 0
+		for _, c := range d.Count {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > parts {
+			t.Errorf("parts=%d: load imbalance %d-%d", parts, min, max)
+		}
+	}
+}
+
+func TestNonUniformDistributionStillBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := particle.GaussianBlob(20000, 0.3, rng)
+	d := Partition(s, 12, s.Bounds())
+	if err := d.Validate(s, s.Bounds()); err != nil {
+		t.Fatal(err)
+	}
+	for r, c := range d.Count {
+		ideal := float64(s.Len()) / 12
+		if math.Abs(float64(c)-ideal) > 13 {
+			t.Errorf("rank %d count %d far from ideal %.0f", r, c, ideal)
+		}
+	}
+}
+
+func TestRegionsContainOwnedParticles(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := particle.UniformCube(5000, rng)
+	d := Partition(s, 6, s.Bounds())
+	// Every particle must lie inside (or on the boundary of) its rank's
+	// region box.
+	const eps = 1e-12
+	for i := 0; i < s.Len(); i++ {
+		r := d.Owner[i]
+		box := d.Region[r]
+		p := s.At(i)
+		grown := geom.Box{
+			Lo: geom.Vec3{X: box.Lo.X - eps, Y: box.Lo.Y - eps, Z: box.Lo.Z - eps},
+			Hi: geom.Vec3{X: box.Hi.X + eps, Y: box.Hi.Y + eps, Z: box.Hi.Z + eps},
+		}
+		if !grown.Contains(p) {
+			t.Fatalf("particle %d at %v assigned to rank %d with region %v", i, p, r, box)
+		}
+	}
+}
+
+func TestSinglePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := particle.UniformCube(100, rng)
+	d := Partition(s, 1, s.Bounds())
+	if d.Count[0] != 100 {
+		t.Fatalf("single partition owns %d particles, want 100", d.Count[0])
+	}
+	if len(d.Cuts) != 0 {
+		t.Fatalf("single partition should need no cuts, got %d", len(d.Cuts))
+	}
+}
+
+func TestMorePartsThanParticles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := particle.UniformCube(3, rng)
+	d := Partition(s, 8, s.Bounds())
+	total := 0
+	for _, c := range d.Count {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("counts sum to %d, want 3", total)
+	}
+}
+
+func TestExtractRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := particle.UniformCube(1000, rng)
+	d := Partition(s, 4, s.Bounds())
+	seen := make([]bool, s.Len())
+	for r := 0; r < 4; r++ {
+		sub, orig := d.Extract(s, r)
+		if sub.Len() != d.Count[r] {
+			t.Fatalf("rank %d extract %d particles, recorded %d", r, sub.Len(), d.Count[r])
+		}
+		for i, o := range orig {
+			if seen[o] {
+				t.Fatalf("particle %d extracted twice", o)
+			}
+			seen[o] = true
+			if sub.X[i] != s.X[o] || sub.Y[i] != s.Y[o] || sub.Z[i] != s.Z[o] || sub.Q[i] != s.Q[o] {
+				t.Fatalf("extracted particle %d differs from original %d", i, o)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("particle %d never extracted", i)
+		}
+	}
+}
+
+func TestSelectKthAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		s := particle.UniformCube(n, rng)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		dim := rng.Intn(3)
+		k := rng.Intn(n)
+		got := selectKth(s, idx, dim, k)
+		coord := s.X
+		switch dim {
+		case 1:
+			coord = s.Y
+		case 2:
+			coord = s.Z
+		}
+		sorted := make([]float64, n)
+		for i := 0; i < n; i++ {
+			sorted[i] = coord[i]
+		}
+		sortFloat64s(sorted)
+		want := sorted[k]
+		if k == 0 {
+			want = sorted[0]
+		}
+		if got != want {
+			t.Fatalf("trial %d: selectKth(dim=%d,k=%d)=%g, want %g", trial, dim, k, got, want)
+		}
+		// The partition property: idx[:k] coordinates <= got, idx[k:] >= got.
+		for i := 0; i < k; i++ {
+			if coord[idx[i]] > got {
+				t.Fatalf("trial %d: left element %g above cut %g", trial, coord[idx[i]], got)
+			}
+		}
+		for i := k; i < n; i++ {
+			if coord[idx[i]] < got {
+				t.Fatalf("trial %d: right element %g below cut %g", trial, coord[idx[i]], got)
+			}
+		}
+	}
+}
+
+func sortFloat64s(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

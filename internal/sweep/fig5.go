@@ -1,0 +1,176 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"barytree/internal/core"
+	"barytree/internal/dist"
+	"barytree/internal/kernel"
+	"barytree/internal/particle"
+	"barytree/internal/perfmodel"
+)
+
+// Fig5Config parameterizes the weak-scaling experiment of Figure 5: the
+// number of particles per GPU is held fixed while the GPU count grows from
+// 1 to 32 (8 Comet nodes x 4 P100s). The paper's setting: 8, 16 and 32
+// million particles per GPU, theta = 0.8, n = 8, NL = NB = 4000 (5-6 digit
+// accuracy); the largest run is 1.024 billion particles.
+type Fig5Config struct {
+	PerGPU  []int // particles per GPU
+	GPUs    []int // GPU counts
+	Params  core.Params
+	Kernels []kernel.Kernel
+	Seed    int64
+	GPU     perfmodel.GPUSpec
+	CPU     perfmodel.CPUSpec
+	Net     perfmodel.NetworkSpec
+}
+
+// DefaultFig5 returns the paper's configuration with per-GPU sizes scaled
+// by 1/scaleDiv (scaleDiv = 1 reproduces the paper's 8/16/32M per GPU;
+// the default 64 runs on a laptop). Batch/leaf sizes scale with the cube
+// root of the reduction so kernels stay proportionally sized.
+func DefaultFig5(scaleDiv int) Fig5Config {
+	if scaleDiv <= 0 {
+		scaleDiv = 64
+	}
+	leaf := 4000
+	if scaleDiv > 8 {
+		leaf = 1000
+	}
+	return Fig5Config{
+		PerGPU: []int{8_000_000 / scaleDiv, 16_000_000 / scaleDiv, 32_000_000 / scaleDiv},
+		GPUs:   []int{1, 2, 4, 8, 16, 32},
+		Params: core.Params{Theta: 0.8, Degree: 8, LeafSize: leaf, BatchSize: leaf},
+		Kernels: []kernel.Kernel{
+			kernel.Coulomb{}, kernel.Yukawa{Kappa: 0.5},
+		},
+		Seed: 5,
+		GPU:  perfmodel.P100(),
+		CPU:  perfmodel.XeonX5650(),
+		Net:  perfmodel.CometIB(),
+	}
+}
+
+// Fig5Point is one weak-scaling measurement.
+type Fig5Point struct {
+	Kernel string
+	PerGPU int
+	GPUs   int
+	N      int // total particles
+	Times  perfmodel.PhaseTimes
+}
+
+// Fig5Result holds the weak-scaling series.
+type Fig5Result struct {
+	Config Fig5Config
+	Points []Fig5Point
+}
+
+// RunFig5 executes the weak-scaling sweep with the timing model (functional
+// trees and lists at full configured size; kernels model-only).
+func RunFig5(cfg Fig5Config, progress io.Writer) (*Fig5Result, error) {
+	res := &Fig5Result{Config: cfg}
+	for _, per := range cfg.PerGPU {
+		for _, gpus := range cfg.GPUs {
+			n := per * gpus
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+			pts := particle.UniformCube(n, rng)
+			for _, k := range cfg.Kernels {
+				out, err := dist.Run(dist.Config{
+					Ranks:     gpus,
+					Params:    cfg.Params,
+					GPU:       cfg.GPU,
+					CPU:       cfg.CPU,
+					Net:       cfg.Net,
+					ModelOnly: true,
+				}, k, pts)
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, Fig5Point{
+					Kernel: k.Name(),
+					PerGPU: per,
+					GPUs:   gpus,
+					N:      n,
+					Times:  out.Times,
+				})
+				if progress != nil {
+					fmt.Fprintf(progress, "fig5 %-8s perGPU=%-9d gpus=%-3d N=%-10d total=%8.2fs (%v)\n",
+						k.Name(), per, gpus, n, out.Times.Total(), out.Times)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render writes the weak-scaling series as run time versus GPU count, one
+// row per (kernel, per-GPU size), matching Figure 5's curves.
+func (r *Fig5Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "\nFigure 5: weak scaling, theta=%.1f n=%d NL=NB=%d (run time in s)\n",
+		r.Config.Params.Theta, r.Config.Params.Degree, r.Config.Params.LeafSize)
+	fmt.Fprintf(w, "%-8s %-10s", "kernel", "perGPU")
+	for _, g := range r.Config.GPUs {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("%d GPU", g))
+	}
+	fmt.Fprintln(w)
+	for _, k := range r.Config.Kernels {
+		for _, per := range r.Config.PerGPU {
+			fmt.Fprintf(w, "%-8s %-10d", k.Name(), per)
+			for _, g := range r.Config.GPUs {
+				for _, p := range r.Points {
+					if p.Kernel == k.Name() && p.PerGPU == per && p.GPUs == g {
+						fmt.Fprintf(w, " %10.2f", p.Times.Total())
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// CheckShape verifies Figure 5's qualitative claims: run times grow only
+// modestly with GPU count at fixed per-GPU load (consistent with
+// O(N log N)), and Yukawa runs somewhat slower than Coulomb.
+func (r *Fig5Result) CheckShape() []string {
+	var bad []string
+	for _, k := range r.Config.Kernels {
+		for _, per := range r.Config.PerGPU {
+			var t1, tMax float64
+			for _, p := range r.Points {
+				if p.Kernel != k.Name() || p.PerGPU != per {
+					continue
+				}
+				if p.GPUs == r.Config.GPUs[0] {
+					t1 = p.Times.Total()
+				}
+				if tot := p.Times.Total(); tot > tMax {
+					tMax = tot
+				}
+			}
+			if t1 == 0 {
+				bad = append(bad, fmt.Sprintf("%s perGPU=%d: missing 1-GPU point", k.Name(), per))
+				continue
+			}
+			// The paper's weak scaling stays within ~2x of the single-GPU
+			// time across 1..32 GPUs with millions of particles per GPU.
+			// At reduced per-GPU loads communication and leaf-size
+			// variation weigh more, so the bound relaxes.
+			bound := 2.5
+			switch {
+			case per < 200_000:
+				bound = 7
+			case per < 2_000_000:
+				bound = 4
+			}
+			if tMax > bound*t1 {
+				bad = append(bad, fmt.Sprintf("%s perGPU=%d: weak scaling degrades %.1fx (%.2fs -> %.2fs, bound %.1fx)",
+					k.Name(), per, tMax/t1, t1, tMax, bound))
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,215 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"barytree/internal/core"
+	"barytree/internal/dist"
+	"barytree/internal/kernel"
+	"barytree/internal/particle"
+	"barytree/internal/perfmodel"
+)
+
+// Fig6Config parameterizes the strong-scaling experiment of Figure 6:
+// fixed total problem sizes (the paper uses 16M and 64M particles) run on
+// 1 to 32 GPUs with the Figure 5 treecode parameters, reporting run time,
+// parallel efficiency relative to one GPU, and the setup / precompute /
+// compute phase distribution.
+type Fig6Config struct {
+	Sizes   []int
+	GPUs    []int
+	Params  core.Params
+	Kernels []kernel.Kernel
+	Seed    int64
+	GPU     perfmodel.GPUSpec
+	CPU     perfmodel.CPUSpec
+	Net     perfmodel.NetworkSpec
+}
+
+// DefaultFig6 returns the paper's configuration with sizes scaled by
+// 1/scaleDiv (scaleDiv = 1 reproduces 16M and 64M).
+func DefaultFig6(scaleDiv int) Fig6Config {
+	if scaleDiv <= 0 {
+		scaleDiv = 64
+	}
+	leaf := 4000
+	if scaleDiv > 8 {
+		leaf = 1000
+	}
+	return Fig6Config{
+		Sizes:  []int{16_000_000 / scaleDiv, 64_000_000 / scaleDiv},
+		GPUs:   []int{1, 2, 4, 8, 16, 32},
+		Params: core.Params{Theta: 0.8, Degree: 8, LeafSize: leaf, BatchSize: leaf},
+		Kernels: []kernel.Kernel{
+			kernel.Coulomb{}, kernel.Yukawa{Kappa: 0.5},
+		},
+		Seed: 6,
+		GPU:  perfmodel.P100(),
+		CPU:  perfmodel.XeonX5650(),
+		Net:  perfmodel.CometIB(),
+	}
+}
+
+// Fig6Point is one strong-scaling measurement.
+type Fig6Point struct {
+	Kernel     string
+	N          int
+	GPUs       int
+	Times      perfmodel.PhaseTimes
+	Efficiency float64 // relative to the 1-GPU run of the same (kernel, N)
+}
+
+// Fig6Result holds the strong-scaling series.
+type Fig6Result struct {
+	Config Fig6Config
+	Points []Fig6Point
+}
+
+// RunFig6 executes the strong-scaling sweep with the timing model.
+func RunFig6(cfg Fig6Config, progress io.Writer) (*Fig6Result, error) {
+	res := &Fig6Result{Config: cfg}
+	for _, n := range cfg.Sizes {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		pts := particle.UniformCube(n, rng)
+		for _, k := range cfg.Kernels {
+			var t1 float64
+			for _, gpus := range cfg.GPUs {
+				out, err := dist.Run(dist.Config{
+					Ranks:     gpus,
+					Params:    cfg.Params,
+					GPU:       cfg.GPU,
+					CPU:       cfg.CPU,
+					Net:       cfg.Net,
+					ModelOnly: true,
+				}, k, pts)
+				if err != nil {
+					return nil, err
+				}
+				tot := out.Times.Total()
+				if gpus == cfg.GPUs[0] {
+					t1 = tot * float64(cfg.GPUs[0])
+				}
+				eff := t1 / (float64(gpus) * tot)
+				res.Points = append(res.Points, Fig6Point{
+					Kernel:     k.Name(),
+					N:          n,
+					GPUs:       gpus,
+					Times:      out.Times,
+					Efficiency: eff,
+				})
+				if progress != nil {
+					fmt.Fprintf(progress, "fig6 %-8s N=%-10d gpus=%-3d total=%8.2fs eff=%5.1f%% (%v)\n",
+						k.Name(), n, gpus, tot, 100*eff, out.Times)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render writes Figure 6(a,b): run time and efficiency versus GPU count.
+func (r *Fig6Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "\nFigure 6(a,b): strong scaling, theta=%.1f n=%d NL=NB=%d\n",
+		r.Config.Params.Theta, r.Config.Params.Degree, r.Config.Params.LeafSize)
+	for _, k := range r.Config.Kernels {
+		for _, n := range r.Config.Sizes {
+			fmt.Fprintf(w, "%-8s N=%d\n", k.Name(), n)
+			fmt.Fprintf(w, "  %8s %12s %12s\n", "GPUs", "time (s)", "efficiency")
+			for _, g := range r.Config.GPUs {
+				for _, p := range r.Points {
+					if p.Kernel == k.Name() && p.N == n && p.GPUs == g {
+						fmt.Fprintf(w, "  %8d %12.2f %11.0f%%\n", g, p.Times.Total(), 100*p.Efficiency)
+					}
+				}
+			}
+		}
+	}
+}
+
+// RenderPhases writes Figure 6(c,d): the per-phase time distribution for
+// the largest configured size.
+func (r *Fig6Result) RenderPhases(w io.Writer) {
+	n := r.Config.Sizes[len(r.Config.Sizes)-1]
+	fmt.Fprintf(w, "\nFigure 6(c,d): phase distribution, N=%d\n", n)
+	for _, k := range r.Config.Kernels {
+		fmt.Fprintf(w, "%-8s %6s %10s %12s %14s %12s\n",
+			"kernel", "GPUs", "total (s)", "setup %", "precompute %", "compute %")
+		for _, g := range r.Config.GPUs {
+			for _, p := range r.Points {
+				if p.Kernel == k.Name() && p.N == n && p.GPUs == g {
+					tot := p.Times.Total()
+					fmt.Fprintf(w, "%-8s %6d %10.2f %11.1f%% %13.1f%% %11.1f%%\n",
+						k.Name(), g, tot,
+						100*p.Times[perfmodel.PhaseSetup]/tot,
+						100*p.Times[perfmodel.PhasePrecompute]/tot,
+						100*p.Times[perfmodel.PhaseCompute]/tot)
+				}
+			}
+		}
+	}
+}
+
+// CheckShape verifies Figure 6's qualitative claims:
+//  1. strong-scaling efficiency stays reasonable (the paper reports 83-84%
+//     at 32 GPUs for 64M particles) and the larger problem scales at least
+//     as well as the smaller one,
+//  2. the compute phase dominates at low GPU counts,
+//  3. the setup+precompute share grows as ranks multiply.
+//
+// Claims 1 and 3 are asymptotic: at strongly reduced sizes the octree
+// leaf-size "sawtooth" (which the paper itself cites to explain its
+// weak-scaling plateaus) perturbs per-rank work enough to blur the trends,
+// so they are only enforced when the large problem carries at least ~30k
+// particles per rank at the maximum GPU count.
+func (r *Fig6Result) CheckShape() []string {
+	var bad []string
+	maxGPUs := r.Config.GPUs[len(r.Config.GPUs)-1]
+	small, large := r.Config.Sizes[0], r.Config.Sizes[len(r.Config.Sizes)-1]
+	atScale := large/maxGPUs >= 30_000
+	for _, k := range r.Config.Kernels {
+		var effSmall, effLarge float64
+		for _, p := range r.Points {
+			if p.Kernel != k.Name() || p.GPUs != maxGPUs {
+				continue
+			}
+			if p.N == small {
+				effSmall = p.Efficiency
+			}
+			if p.N == large {
+				effLarge = p.Efficiency
+			}
+		}
+		if effLarge < 0.5 {
+			bad = append(bad, fmt.Sprintf("%s: efficiency at %d GPUs only %.0f%%", k.Name(), maxGPUs, 100*effLarge))
+		}
+		if atScale && large != small && effLarge < effSmall*0.9 {
+			bad = append(bad, fmt.Sprintf("%s: larger problem scales worse (%.0f%% vs %.0f%%)",
+				k.Name(), 100*effLarge, 100*effSmall))
+		}
+		// Phase distribution trend on the large problem.
+		var firstComputeShare, lastComputeShare float64
+		for _, p := range r.Points {
+			if p.Kernel != k.Name() || p.N != large {
+				continue
+			}
+			share := p.Times[perfmodel.PhaseCompute] / p.Times.Total()
+			if p.GPUs == r.Config.GPUs[0] {
+				firstComputeShare = share
+			}
+			if p.GPUs == maxGPUs {
+				lastComputeShare = share
+			}
+		}
+		if firstComputeShare < 0.5 {
+			bad = append(bad, fmt.Sprintf("%s: compute phase does not dominate on 1 GPU (%.0f%%)",
+				k.Name(), 100*firstComputeShare))
+		}
+		if atScale && lastComputeShare >= firstComputeShare {
+			bad = append(bad, fmt.Sprintf("%s: compute share did not shrink with GPUs (%.0f%% -> %.0f%%)",
+				k.Name(), 100*firstComputeShare, 100*lastComputeShare))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,229 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"barytree/internal/kernel"
+	"barytree/internal/perfmodel"
+)
+
+// The sweep tests run each figure harness at a reduced size and assert the
+// paper's qualitative shapes hold (who wins, what grows, what shrinks).
+
+func TestFig4ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 sweep takes tens of seconds")
+	}
+	cfg := DefaultFig4(60_000)
+	cfg.Degrees = []int{1, 3, 5, 7, 9}
+	cfg.BatchSize = 1500
+	res, err := RunFig4(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Points); got != 2*3*5 {
+		t.Fatalf("got %d points, want 30", got)
+	}
+	for _, v := range res.CheckShape() {
+		t.Errorf("shape violation: %s", v)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "coulomb") || !strings.Contains(out, "yukawa") {
+		t.Errorf("render missing kernels:\n%s", out)
+	}
+}
+
+func TestFig4ErrorsReachHighAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 sweep takes tens of seconds")
+	}
+	cfg := DefaultFig4(40_000)
+	cfg.Kernels = []kernel.Kernel{kernel.Coulomb{}}
+	cfg.Thetas = []float64{0.5}
+	cfg.Degrees = []int{13}
+	cfg.BatchSize = 1000
+	res, err := RunFig4(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := res.Points[0].Err; e > 1e-10 {
+		t.Errorf("theta=0.5 n=13 error %.2e, expected near machine precision", e)
+	}
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 sweep takes tens of seconds")
+	}
+	cfg := DefaultFig5(512) // 15k/31k/62k per GPU
+	cfg.GPUs = []int{1, 2, 4, 8}
+	cfg.Kernels = []kernel.Kernel{kernel.Coulomb{}}
+	res, err := RunFig5(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.CheckShape() {
+		t.Errorf("shape violation: %s", v)
+	}
+}
+
+func TestFig6ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweep takes tens of seconds")
+	}
+	cfg := DefaultFig6(128) // 125k and 500k
+	cfg.GPUs = []int{1, 2, 4, 8, 16}
+	cfg.Kernels = []kernel.Kernel{kernel.Coulomb{}}
+	res, err := RunFig6(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.CheckShape() {
+		t.Errorf("shape violation: %s", v)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	res.RenderPhases(&buf)
+	if !strings.Contains(buf.String(), "efficiency") {
+		t.Error("render missing efficiency column")
+	}
+}
+
+func TestAsyncStreamsAblation(t *testing.T) {
+	cfg := DefaultAblation(50_000)
+	res, err := RunAsyncStreams(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := res.Reduction()
+	if red <= 0 || red > 0.8 {
+		t.Errorf("async reduction %.0f%% implausible", 100*red)
+	}
+	t.Logf("async streams reduce compute by %.0f%%", 100*red)
+}
+
+func TestBatchMACAblation(t *testing.T) {
+	cfg := DefaultAblation(50_000)
+	res, err := RunBatchMAC(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := res.WorkOverhead()
+	if overhead < 0 {
+		t.Errorf("batched MAC admitted less work than per-target: %.1f%%", 100*overhead)
+	}
+	if overhead > 1.0 {
+		t.Errorf("batched MAC overhead %.0f%% far from 'nearly optimal'", 100*overhead)
+	}
+	if res.Batched.MACTests >= res.PerTarget.MACTests {
+		t.Error("batching should slash MAC test count")
+	}
+	t.Logf("batch-MAC work overhead %.1f%%, MAC tests %d vs %d",
+		100*overhead, res.Batched.MACTests, res.PerTarget.MACTests)
+}
+
+func TestSizeCheckAblation(t *testing.T) {
+	cfg := DefaultAblation(30_000)
+	res, err := RunSizeCheck(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The check replaces small-cluster approximations with direct sums:
+	// accuracy must not get worse with the check, and disabling it must
+	// not reduce the interaction count below the checked variant's
+	// approximation-side count.
+	if res.ErrWith > res.ErrWithout*1.2 {
+		t.Errorf("size check made accuracy worse: %.2e vs %.2e", res.ErrWith, res.ErrWithout)
+	}
+	t.Logf("with check: %d interactions err=%.2e; without: %d err=%.2e",
+		res.WithCheck.TotalInteractions(), res.ErrWith,
+		res.WithoutCheck.TotalInteractions(), res.ErrWithout)
+}
+
+func TestLeafSizeSweepHasInteriorOptimum(t *testing.T) {
+	cfg := DefaultAblation(100_000)
+	pts, err := RunLeafSizeSweep(cfg, []int{100, 500, 2000, 8000, 32000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestIdx := pts[0].GPUTime, 0
+	for i, p := range pts {
+		if p.GPUTime < best {
+			best, bestIdx = p.GPUTime, i
+		}
+		t.Logf("NL=%d: %.4fs (%d launches)", p.LeafSize, p.GPUTime, p.Launches)
+	}
+	if bestIdx == 0 || bestIdx == len(pts)-1 {
+		t.Errorf("optimal leaf size at sweep boundary (NL=%d); expected interior optimum", pts[bestIdx].LeafSize)
+	}
+}
+
+func TestAspectRatioAblation(t *testing.T) {
+	cfg := DefaultAblation(50_000)
+	cfg.Params.LeafSize = 500
+	cfg.Params.BatchSize = 500
+	res, err := RunAspectRatio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAspectWithRule >= res.MaxAspectOctants {
+		t.Errorf("sqrt2 rule did not reduce leaf aspect ratios: %.1f vs %.1f",
+			res.MaxAspectWithRule, res.MaxAspectOctants)
+	}
+	t.Logf("max leaf aspect: rule %.2f, octants %.2f; interactions %d vs %d",
+		res.MaxAspectWithRule, res.MaxAspectOctants,
+		res.WithRule.TotalInteractions(), res.OctantsOnly.TotalInteractions())
+}
+
+func TestMixedPrecisionAblation(t *testing.T) {
+	cfg := DefaultAblation(20_000)
+	cfg.Params.LeafSize = 500
+	cfg.Params.BatchSize = 500
+	res, err := RunMixedPrecision(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrFP32 <= res.ErrFP64 {
+		t.Errorf("fp32 error %.2e not above fp64 %.2e", res.ErrFP32, res.ErrFP64)
+	}
+	if res.TimeFP32 >= res.TimeFP64 {
+		t.Errorf("fp32 time %.4fs not below fp64 %.4fs", res.TimeFP32, res.TimeFP64)
+	}
+}
+
+func TestCommOverlapAblation(t *testing.T) {
+	cfg := DefaultAblation(30_000)
+	cfg.Params.LeafSize = 500
+	cfg.Params.BatchSize = 500
+	res, err := RunCommOverlap(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overlapped[perfmodel.PhaseSetup] >= res.Plain[perfmodel.PhaseSetup] {
+		t.Errorf("overlap did not reduce setup: %.4f vs %.4f",
+			res.Overlapped[perfmodel.PhaseSetup], res.Plain[perfmodel.PhaseSetup])
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation report is slow")
+	}
+	cfg := DefaultAblation(40_000)
+	cfg.Params.LeafSize = 1000
+	cfg.Params.BatchSize = 1000
+	var buf bytes.Buffer
+	if err := RenderAblations(cfg, 4, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"async streams", "batch MAC", "size check", "leaf size", "aspect ratio", "mixed precision", "comm overlap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

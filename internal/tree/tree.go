@@ -1,0 +1,322 @@
+// Package tree builds the hierarchical source-cluster octree and the
+// localized target batches of the barycentric Lagrange treecode (Section 2.4
+// of the paper).
+//
+// The root cluster is the minimal bounding box containing all source
+// particles. A cluster is recursively divided at the midpoint of its
+// bounding box; only dimensions whose side exceeds (longest side)/sqrt(2)
+// are bisected, so a division produces 2, 4 or 8 children and children stay
+// near-cubic even when recursive coordinate bisection hands a rank a skewed
+// subdomain (Section 3.1). Recursion stops when a cluster holds LeafSize or
+// fewer particles. Every node's box is shrunk to the minimal bounding box of
+// its own particles, which is what guarantees that some particle coordinates
+// coincide with Chebyshev interpolation-point coordinates (Section 2.3).
+//
+// Target batches are produced by the same partitioning routine applied to
+// the target particles with bound BatchSize; when targets and sources are
+// the same particles and BatchSize == LeafSize the batches coincide with the
+// source-tree leaves, as in all of the paper's experiments.
+package tree
+
+import (
+	"fmt"
+	"math"
+
+	"barytree/internal/geom"
+	"barytree/internal/particle"
+)
+
+// MaxAspectRatio is the sqrt(2) bound from the paper: a dimension is only
+// bisected when doing so cannot leave children with aspect ratio beyond this
+// bound relative to the longest side.
+var MaxAspectRatio = math.Sqrt2
+
+// Node is one cluster in the source tree (or one internal node of the batch
+// partition). Particle indices refer to the tree-ordered particle set and
+// occupy the contiguous range [Lo, Hi).
+type Node struct {
+	Box      geom.Box // minimal bounding box of the node's particles
+	Center   geom.Vec3
+	Radius   float64 // half box diagonal, the r_C of the MAC
+	Lo, Hi   int     // particle range in tree order
+	Parent   int32   // index of parent node, -1 for the root
+	Children []int32 // indices of child nodes; empty for leaves
+	Level    int     // depth, root = 0
+}
+
+// Count returns the number of particles in the node.
+func (nd *Node) Count() int { return nd.Hi - nd.Lo }
+
+// IsLeaf reports whether the node has no children.
+func (nd *Node) IsLeaf() bool { return len(nd.Children) == 0 }
+
+// BuildStats counts the work done during tree construction; the performance
+// model converts these into modeled setup-phase time.
+type BuildStats struct {
+	Nodes         int // nodes created
+	Leaves        int // leaf nodes
+	ParticleMoves int // particle swaps during partitioning
+	ParticleScans int // particle visits during box shrinking + partitioning
+	MaxDepth      int
+}
+
+// Tree is the cluster hierarchy over a (re-ordered) particle set.
+type Tree struct {
+	Nodes     []Node
+	Particles *particle.Set        // tree-ordered deep copy of the input
+	Perm      particle.Permutation // Perm[treeIndex] = original index
+	LeafSize  int
+	Stats     BuildStats
+}
+
+// Root returns the index of the root node (always 0 for a non-empty tree).
+func (t *Tree) Root() int { return 0 }
+
+// Leaves returns the indices of all leaf nodes in construction order.
+func (t *Tree) Leaves() []int32 {
+	var out []int32
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Build constructs the cluster tree over src with the given leaf size. The
+// input set is not modified; the tree holds a reordered copy plus the
+// permutation back to input order. Build panics if leafSize < 1 and returns
+// an empty tree for an empty input.
+func Build(src *particle.Set, leafSize int) *Tree {
+	if leafSize < 1 {
+		panic(fmt.Sprintf("tree: leaf size must be >= 1, got %d", leafSize))
+	}
+	t := &Tree{
+		Particles: src.Clone(),
+		Perm:      particle.Identity(src.Len()),
+		LeafSize:  leafSize,
+	}
+	if src.Len() == 0 {
+		return t
+	}
+	t.build(-1, 0, src.Len(), 0)
+	return t
+}
+
+// build creates the node covering particle range [lo, hi) and recursively
+// partitions it. It returns the index of the created node.
+func (t *Tree) build(parent int32, lo, hi, level int) int32 {
+	idx := int32(len(t.Nodes))
+	box := t.shrinkBox(lo, hi)
+	t.Nodes = append(t.Nodes, Node{
+		Box:    box,
+		Center: box.Center(),
+		Radius: box.Radius(),
+		Lo:     lo,
+		Hi:     hi,
+		Parent: parent,
+		Level:  level,
+	})
+	t.Stats.Nodes++
+	if level > t.Stats.MaxDepth {
+		t.Stats.MaxDepth = level
+	}
+	if hi-lo <= t.LeafSize {
+		t.Stats.Leaves++
+		return idx
+	}
+
+	dims := splitDims(box)
+	ranges := t.partition(lo, hi, box, dims)
+	if len(ranges) <= 1 {
+		// All particles landed in one cell (coincident points): stop.
+		t.Stats.Leaves++
+		return idx
+	}
+	children := make([]int32, 0, len(ranges))
+	for _, r := range ranges {
+		children = append(children, t.build(idx, r[0], r[1], level+1))
+	}
+	t.Nodes[idx].Children = children
+	return idx
+}
+
+// shrinkBox computes the minimal bounding box of particles [lo, hi).
+func (t *Tree) shrinkBox(lo, hi int) geom.Box {
+	t.Stats.ParticleScans += hi - lo
+	p := t.Particles
+	return geom.BoundingBox(p.X[lo:hi], p.Y[lo:hi], p.Z[lo:hi])
+}
+
+// splitDims selects the dimensions to bisect: every dimension whose side
+// exceeds (longest side)/MaxAspectRatio. The longest dimension is always
+// selected.
+func splitDims(box geom.Box) []int {
+	long, _ := box.LongestSide()
+	threshold := long / MaxAspectRatio
+	var dims []int
+	s := box.Size()
+	for d, side := range [3]float64{s.X, s.Y, s.Z} {
+		if side >= threshold && side > 0 {
+			dims = append(dims, d)
+		}
+	}
+	if len(dims) == 0 {
+		// Degenerate box (all sides zero): no split possible.
+		return nil
+	}
+	return dims
+}
+
+// partition splits the particle range [lo, hi) at the box midpoints of the
+// chosen dimensions, producing up to 2^len(dims) contiguous sub-ranges. It
+// returns the non-empty ranges in cell order.
+func (t *Tree) partition(lo, hi int, box geom.Box, dims []int) [][2]int {
+	ranges := [][2]int{{lo, hi}}
+	for _, d := range dims {
+		mid := (box.Lo.Component(d) + box.Hi.Component(d)) / 2
+		next := ranges[:0:0]
+		for _, r := range ranges {
+			m := t.hoare(r[0], r[1], d, mid)
+			if m > r[0] {
+				next = append(next, [2]int{r[0], m})
+			}
+			if m < r[1] {
+				next = append(next, [2]int{m, r[1]})
+			}
+		}
+		ranges = next
+	}
+	return ranges
+}
+
+// hoare partitions particles [lo, hi) so that those with coordinate d < mid
+// come first; it returns the index of the first particle with coordinate
+// >= mid.
+func (t *Tree) hoare(lo, hi, d int, mid float64) int {
+	p := t.Particles
+	coord := p.X
+	switch d {
+	case 1:
+		coord = p.Y
+	case 2:
+		coord = p.Z
+	}
+	i, j := lo, hi
+	for i < j {
+		for i < j && coord[i] < mid {
+			i++
+		}
+		for i < j && coord[j-1] >= mid {
+			j--
+		}
+		if i < j-1 {
+			p.Swap(i, j-1)
+			t.Perm[i], t.Perm[j-1] = t.Perm[j-1], t.Perm[i]
+			t.Stats.ParticleMoves++
+			i++
+			j--
+		}
+	}
+	t.Stats.ParticleScans += hi - lo
+	return i
+}
+
+// Validate checks the structural invariants of the tree and returns an error
+// describing the first violation found. It is used by tests and by the
+// distributed driver's debug mode.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		if t.Particles.Len() != 0 {
+			return fmt.Errorf("tree: no nodes but %d particles", t.Particles.Len())
+		}
+		return nil
+	}
+	if !t.Perm.Valid() {
+		return fmt.Errorf("tree: permutation is not a bijection")
+	}
+	root := &t.Nodes[0]
+	if root.Lo != 0 || root.Hi != t.Particles.Len() {
+		return fmt.Errorf("tree: root covers [%d,%d), want [0,%d)", root.Lo, root.Hi, t.Particles.Len())
+	}
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		if nd.Count() <= 0 {
+			return fmt.Errorf("tree: node %d is empty", i)
+		}
+		for j := nd.Lo; j < nd.Hi; j++ {
+			if !nd.Box.Contains(t.Particles.At(j)) {
+				return fmt.Errorf("tree: node %d box %v does not contain particle %d at %v",
+					i, nd.Box, j, t.Particles.At(j))
+			}
+		}
+		if nd.IsLeaf() {
+			continue
+		}
+		// Children must tile the parent's range contiguously.
+		pos := nd.Lo
+		for _, c := range nd.Children {
+			ch := &t.Nodes[c]
+			if ch.Parent != int32(i) {
+				return fmt.Errorf("tree: node %d has wrong parent %d, want %d", c, ch.Parent, i)
+			}
+			if ch.Lo != pos {
+				return fmt.Errorf("tree: child %d of node %d starts at %d, want %d", c, i, ch.Lo, pos)
+			}
+			if !nd.Box.ContainsBox(ch.Box) {
+				return fmt.Errorf("tree: child %d box %v escapes parent %d box %v", c, ch.Box, i, nd.Box)
+			}
+			pos = ch.Hi
+		}
+		if pos != nd.Hi {
+			return fmt.Errorf("tree: children of node %d end at %d, want %d", i, pos, nd.Hi)
+		}
+	}
+	return nil
+}
+
+// Batch is a geometrically localized group of target particles (Section 2.4).
+// Indices refer to the batch-ordered target set and occupy [Lo, Hi).
+type Batch struct {
+	Center geom.Vec3
+	Radius float64 // the r_B of the MAC
+	Lo, Hi int
+}
+
+// Count returns the number of targets in the batch.
+func (b *Batch) Count() int { return b.Hi - b.Lo }
+
+// BatchSet holds the target batches and the batch-ordered target particles.
+type BatchSet struct {
+	Batches   []Batch
+	Targets   *particle.Set
+	Perm      particle.Permutation // Perm[batchOrderIndex] = original index
+	BatchSize int
+	Stats     BuildStats
+}
+
+// BuildBatches partitions the target particles into localized batches of at
+// most batchSize targets using the same recursive partitioning routine as
+// the source tree: the batches are exactly the leaves of a cluster tree with
+// leaf size batchSize.
+func BuildBatches(targets *particle.Set, batchSize int) *BatchSet {
+	t := Build(targets, batchSize)
+	bs := &BatchSet{
+		Targets:   t.Particles,
+		Perm:      t.Perm,
+		BatchSize: batchSize,
+		Stats:     t.Stats,
+	}
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		if nd.IsLeaf() {
+			bs.Batches = append(bs.Batches, Batch{
+				Center: nd.Center,
+				Radius: nd.Radius,
+				Lo:     nd.Lo,
+				Hi:     nd.Hi,
+			})
+		}
+	}
+	return bs
+}

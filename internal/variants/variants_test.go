@@ -1,0 +1,184 @@
+package variants
+
+import (
+	"math/rand"
+	"testing"
+
+	"barytree/internal/core"
+	"barytree/internal/direct"
+	"barytree/internal/kernel"
+	"barytree/internal/metrics"
+	"barytree/internal/particle"
+)
+
+func variantParams() core.Params {
+	// Leaf sizes well above (degree+1)^3 = 216 so all interaction types
+	// actually engage.
+	return core.Params{Theta: 0.6, Degree: 5, LeafSize: 400, BatchSize: 400}
+}
+
+func TestAllVariantsMatchDirectSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := particle.UniformCube(8000, rng)
+	k := kernel.Coulomb{}
+	ref := direct.SumParallel(k, pts, pts, 0)
+	p := variantParams()
+
+	for _, method := range []string{"pc", "cp", "cc"} {
+		res, err := Run(method, k, pts, pts, p)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		e := metrics.RelErr2(ref, res.Phi)
+		if e > 1e-5 || e == 0 {
+			t.Errorf("%s: error %.3g outside (0, 1e-5]", method, e)
+		}
+		t.Logf("%s: err=%.3g total interactions=%d (pp=%d pc=%d cp=%d cc=%d)",
+			method, e, res.Stats.Total(),
+			res.Stats.PPInteractions, res.Stats.PCInteractions,
+			res.Stats.CPInteractions, res.Stats.CCInteractions)
+	}
+}
+
+func TestVariantsYukawa(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := particle.UniformCube(5000, rng)
+	k := kernel.Yukawa{Kappa: 0.5}
+	ref := direct.SumParallel(k, pts, pts, 0)
+	for _, method := range []string{"cp", "cc"} {
+		res, err := Run(method, k, pts, pts, p6())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := metrics.RelErr2(ref, res.Phi); e > 1e-5 {
+			t.Errorf("%s yukawa error %.3g", method, e)
+		}
+	}
+}
+
+func p6() core.Params {
+	return core.Params{Theta: 0.6, Degree: 6, LeafSize: 500, BatchSize: 500}
+}
+
+func TestCCUsesProxyToProxy(t *testing.T) {
+	// Geometry note: octree leaves snap to ~N/8^d particles; the leaf
+	// bound of 700 at N=30000 yields ~469-particle leaves, comfortably
+	// above the (5+1)^3 = 216 proxies, so cluster-cluster interactions
+	// are admissible.
+	rng := rand.New(rand.NewSource(3))
+	pts := particle.UniformCube(30000, rng)
+	p := core.Params{Theta: 0.6, Degree: 5, LeafSize: 700, BatchSize: 700}
+	res, err := RunCC(kernel.Coulomb{}, pts, pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CCPairs == 0 {
+		t.Error("cluster-cluster run never used a CC interaction")
+	}
+	if res.Stats.PPPairs == 0 {
+		t.Error("cluster-cluster run never used a direct interaction")
+	}
+}
+
+func TestCPUsesProxies(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := particle.UniformCube(10000, rng)
+	res, err := RunCP(kernel.Coulomb{}, pts, pts, variantParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CPPairs == 0 {
+		t.Error("cluster-particle run never used a CP interaction")
+	}
+	if res.Stats.DownwardInterp == 0 {
+		t.Error("no downward interpolation happened")
+	}
+}
+
+func TestCCReducesFarFieldWork(t *testing.T) {
+	// The CC scheme's point: proxy-to-proxy interactions cost
+	// (n+1)^3 x (n+1)^3 per admissible pair instead of involving every
+	// target, so its total far-field work is below PC's at equal
+	// parameters (for large enough N).
+	rng := rand.New(rand.NewSource(5))
+	pts := particle.UniformCube(30000, rng)
+	p := core.Params{Theta: 0.7, Degree: 4, LeafSize: 700, BatchSize: 700}
+	pc, err := RunPC(kernel.Coulomb{}, pts, pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := RunCC(kernel.Coulomb{}, pts, pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farPC := pc.Stats.PCInteractions
+	farCC := cc.Stats.CCInteractions + cc.Stats.PCInteractions + cc.Stats.CPInteractions
+	t.Logf("far-field work: PC=%d CC=%d", farPC, farCC)
+	if farCC >= farPC {
+		t.Errorf("CC far-field work %d not below PC's %d", farCC, farPC)
+	}
+}
+
+func TestVariantsErrorConvergesWithDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := particle.UniformCube(6000, rng)
+	k := kernel.Coulomb{}
+	ref := direct.SumParallel(k, pts, pts, 0)
+	for _, method := range []string{"cp", "cc"} {
+		var prev = 1e300
+		for _, n := range []int{2, 4, 6} {
+			leaf := (n + 2) * (n + 2) * (n + 2) // keep leaves above the grid size
+			p := core.Params{Theta: 0.6, Degree: n, LeafSize: leaf, BatchSize: leaf}
+			res, err := Run(method, k, pts, pts, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := metrics.RelErr2(ref, res.Phi)
+			if e > prev*1.5 && e > 1e-12 {
+				t.Errorf("%s degree %d: error %.3g did not decrease from %.3g", method, n, e, prev)
+			}
+			prev = e
+		}
+		if prev > 1e-4 {
+			t.Errorf("%s degree 6 error %.3g too large", method, prev)
+		}
+	}
+}
+
+func TestDisjointTargetsSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	targets := particle.UniformCube(2000, rng)
+	sources := particle.UniformCube(6000, rng)
+	k := kernel.Coulomb{}
+	ref := direct.SumParallel(k, targets, sources, 0)
+	for _, method := range []string{"cp", "cc"} {
+		res, err := Run(method, k, targets, sources, variantParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Phi) != targets.Len() {
+			t.Fatalf("%s: %d potentials for %d targets", method, len(res.Phi), targets.Len())
+		}
+		if e := metrics.RelErr2(ref, res.Phi); e > 1e-5 {
+			t.Errorf("%s disjoint error %.3g", method, e)
+		}
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	pts := particle.UniformCube(100, rand.New(rand.NewSource(8)))
+	if _, err := Run("fmm", kernel.Coulomb{}, pts, pts, variantParams()); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestBadParamsRejected(t *testing.T) {
+	pts := particle.UniformCube(100, rand.New(rand.NewSource(9)))
+	bad := core.Params{Theta: 0, Degree: 3, LeafSize: 10, BatchSize: 10}
+	if _, err := RunCP(kernel.Coulomb{}, pts, pts, bad); err == nil {
+		t.Error("CP accepted bad params")
+	}
+	if _, err := RunCC(kernel.Coulomb{}, pts, pts, bad); err == nil {
+		t.Error("CC accepted bad params")
+	}
+}

@@ -1,0 +1,84 @@
+package barytree
+
+import (
+	"fmt"
+
+	"barytree/internal/core"
+)
+
+// Solver amortizes the treecode's setup across repeated evaluations with
+// the same particle positions. This is the access pattern of the paper's
+// boundary-integral Poisson-Boltzmann application (reference [33]): an
+// iterative linear solver updates the source charges every iteration while
+// the geometry — tree, batches, interaction lists, Chebyshev grids — stays
+// fixed; only the modified charges and the potential evaluation re-run.
+type Solver struct {
+	k      Kernel
+	plan   *core.Plan
+	params Params
+	fresh  bool // charges valid for current Q
+}
+
+// NewSolver builds the treecode structures once for the given geometry.
+func NewSolver(k Kernel, targets, sources *Particles, p Params) (*Solver, error) {
+	pl, err := core.NewPlan(targets, sources, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{k: k, plan: pl, params: p}, nil
+}
+
+// Params returns the solver's treecode parameters.
+func (s *Solver) Params() Params { return s.params }
+
+// NumTargets returns the number of targets.
+func (s *Solver) NumTargets() int { return s.plan.Batches.Targets.Len() }
+
+// NumSources returns the number of sources.
+func (s *Solver) NumSources() int { return s.plan.Sources.Particles.Len() }
+
+// UpdateCharges replaces the source charges (given in the order the
+// sources were passed to NewSolver) without rebuilding any geometry. The
+// next Potentials call recomputes only the modified charges.
+func (s *Solver) UpdateCharges(q []float64) error {
+	src := s.plan.Sources
+	if len(q) != src.Particles.Len() {
+		return fmt.Errorf("barytree: UpdateCharges got %d charges for %d sources", len(q), src.Particles.Len())
+	}
+	// Perm maps tree order -> original order.
+	for treeIdx, origIdx := range src.Perm {
+		src.Particles.Q[treeIdx] = q[origIdx]
+	}
+	for i := range s.plan.Clusters.Qhat {
+		s.plan.Clusters.Qhat[i] = nil
+	}
+	s.fresh = false
+	return nil
+}
+
+// Potentials evaluates the treecode with the current charges, returning
+// potentials in the original target order. The first call (and the first
+// call after each UpdateCharges) recomputes the modified charges; geometry
+// is never rebuilt.
+func (s *Solver) Potentials() []float64 {
+	if !s.fresh {
+		s.plan.Clusters.ComputeCharges(s.plan.Sources, 0)
+		s.fresh = true
+	}
+	phiBatch := make([]float64, s.plan.Batches.Targets.Len())
+	core.RunComputeOnly(s.plan, s.k, phiBatch)
+	out := make([]float64, len(phiBatch))
+	s.plan.Batches.Perm.ScatterInto(out, phiBatch)
+	return out
+}
+
+// MatVec treats the treecode as the matrix-vector product phi = G*q of the
+// dense interaction matrix G_ij = G(x_i, y_j): it updates the charges to q
+// and returns the potentials. This is the operator an iterative Krylov
+// solver calls once per iteration.
+func (s *Solver) MatVec(q []float64) ([]float64, error) {
+	if err := s.UpdateCharges(q); err != nil {
+		return nil, err
+	}
+	return s.Potentials(), nil
+}
