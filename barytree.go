@@ -40,6 +40,7 @@ import (
 	"barytree/internal/metrics"
 	"barytree/internal/particle"
 	"barytree/internal/perfmodel"
+	"barytree/internal/trace"
 	"barytree/internal/variants"
 )
 
@@ -93,6 +94,22 @@ func DefaultParams() Params { return core.DefaultParams() }
 // (trees, batches, interaction lists, LET), precompute (modified charges)
 // and compute (potential evaluation).
 type PhaseTimes = perfmodel.PhaseTimes
+
+// Tracer collects execution spans (kernels per stream, transfers per copy
+// engine, RMA operations, phases) and counters in modeled time. Attach one
+// through DeviceConfig.Trace or DistributedConfig.Trace, then export with
+// WriteChrome (Chrome trace-event JSON for Perfetto) or WriteProfile (text
+// breakdown tables). A nil *Tracer disables tracing at zero cost. See
+// docs/observability.md for the span taxonomy and a worked example.
+type Tracer = trace.Tracer
+
+// NewTracer returns an empty enabled Tracer.
+func NewTracer() *Tracer { return trace.New() }
+
+// TracePhaseNames returns the phase span names in execution order (setup,
+// precompute, compute) — the recommended phase-order argument for
+// Tracer.WriteProfile.
+func TracePhaseNames() []string { return perfmodel.PhaseNames() }
 
 // Result is the output of a treecode solve.
 type Result struct {
@@ -156,6 +173,9 @@ type DeviceConfig struct {
 	// SinglePrecision runs the potential kernels in fp32 (the paper's
 	// mixed-precision future-work extension).
 	SinglePrecision bool
+	// Trace, when non-nil, records spans and counters for the run (see
+	// Tracer). Tracing never changes modeled times or results.
+	Trace *Tracer
 }
 
 // SolveDevice computes the potentials on one simulated GPU, following the
@@ -179,6 +199,7 @@ func SolveDevice(k Kernel, targets, sources *Particles, p Params, cfg DeviceConf
 		Streams:   cfg.Streams,
 		Sync:      cfg.SyncLaunches,
 		Precision: prec,
+		Tracer:    cfg.Trace,
 	})
 	return &Result{Phi: r.Phi, Times: r.Times}, nil
 }
@@ -193,6 +214,9 @@ type DistributedConfig struct {
 	// OverlapComm enables the modeled overlap of LET communication with
 	// the precompute phase (the paper's future-work extension).
 	OverlapComm bool
+	// Trace, when non-nil, records spans and counters for every rank (see
+	// Tracer). Tracing never changes modeled times or results.
+	Trace *Tracer
 }
 
 // DistributedResult extends Result with per-rank phase profiles.
@@ -217,6 +241,7 @@ func SolveDistributed(k Kernel, pts *Particles, p Params, cfg DistributedConfig)
 		Params:      p,
 		GPU:         gpu,
 		OverlapComm: cfg.OverlapComm,
+		Tracer:      cfg.Trace,
 	}, k, pts)
 	if err != nil {
 		return nil, err

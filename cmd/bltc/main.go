@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"barytree"
+	"barytree/internal/trace"
 )
 
 func main() {
@@ -36,8 +37,15 @@ func main() {
 		check    = flag.Bool("check", false, "measure error against (sampled) direct summation")
 		samples  = flag.Int("samples", 1000, "error sample size for -check")
 		fp32     = flag.Bool("fp32", false, "single-precision device kernels")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		profile  = flag.Bool("profile", false, "print a modeled-time profile (by phase, kernel, rank)")
 	)
 	flag.Parse()
+
+	var tr *barytree.Tracer
+	if *traceOut != "" || *profile {
+		tr = barytree.NewTracer()
+	}
 
 	if *batch == 0 {
 		*batch = *leaf
@@ -87,17 +95,27 @@ func main() {
 		res, err := barytree.SolveCPU(k, pts, pts, p, 0)
 		exitOn(err)
 		phi, times = res.Phi, res.Times
+		// The CPU path has no device or comm events to trace; synthesize the
+		// three phase spans from the phase accounting so -trace/-profile
+		// still produce a timeline.
+		if tr != nil {
+			t := 0.0
+			for i, name := range barytree.TracePhaseNames() {
+				tr.Span(name, trace.CatPhase, 0, trace.TrackHost, t, t+times[i])
+				t += times[i]
+			}
+		}
 		fmt.Printf("modeled times (6-core Xeon X5650): %v\n", times)
 	case "gpu":
 		res, err := barytree.SolveDevice(k, pts, pts, p, barytree.DeviceConfig{
-			GPU: gm, SinglePrecision: *fp32,
+			GPU: gm, SinglePrecision: *fp32, Trace: tr,
 		})
 		exitOn(err)
 		phi, times = res.Phi, res.Times
 		fmt.Printf("modeled times (%s): %v\n", *gpuModel, times)
 	case "dist":
 		res, err := barytree.SolveDistributed(k, pts, p, barytree.DistributedConfig{
-			Ranks: *ranks, GPU: gm,
+			Ranks: *ranks, GPU: gm, Trace: tr,
 		})
 		exitOn(err)
 		phi, times = res.Phi, res.Times
@@ -107,6 +125,16 @@ func main() {
 		}
 	default:
 		log.Fatalf("unknown backend %q", *backend)
+	}
+
+	if *traceOut != "" {
+		exitOn(tr.WriteChromeFile(*traceOut))
+		fmt.Printf("trace: %d spans written to %s (open at https://ui.perfetto.dev)\n",
+			tr.Len(), *traceOut)
+	}
+	if *profile {
+		fmt.Println()
+		exitOn(tr.WriteProfile(os.Stdout, barytree.TracePhaseNames()...))
 	}
 
 	if *check {

@@ -6,6 +6,7 @@ import (
 	"barytree/internal/device"
 	"barytree/internal/kernel"
 	"barytree/internal/perfmodel"
+	"barytree/internal/trace"
 )
 
 // DeviceOptions configure the simulated-GPU driver.
@@ -30,6 +31,10 @@ type DeviceOptions struct {
 	// at the paper's full problem sizes; errors are then measured
 	// separately with EvaluateSampled.
 	ModelOnly bool
+	// Tracer, when non-nil, records phase/build spans, one span per kernel
+	// launch and per transfer, and activity counters. Tracing never
+	// changes modeled times.
+	Tracer *trace.Tracer
 }
 
 func (o *DeviceOptions) defaults() {
@@ -53,12 +58,27 @@ func RunDevice(pl *Plan, k kernel.Kernel, dev *device.Device, opt DeviceOptions)
 		streams = opt.Streams
 	}
 	dev.Precision = opt.Precision
+	tr := opt.Tracer
+	dev.Tracer = tr
 
 	var hc perfmodel.Clock
 
 	// --- Setup phase (tree, batches, interaction lists: host work). ---
 	hc.Advance(pl.SetupWork(opt.HostSpec))
 	res.Times[perfmodel.PhaseSetup] = hc.Now()
+	if tr.Enabled() {
+		// Reconstruct the setup sub-intervals from the same counters
+		// SetupWork charges: source tree, target batches, then lists.
+		srcT := float64(pl.Sources.Stats.ParticleScans+pl.Sources.Stats.ParticleMoves) / opt.HostSpec.TreeOpRate
+		batchT := float64(pl.Batches.Stats.ParticleScans+pl.Batches.Stats.ParticleMoves) / opt.HostSpec.TreeOpRate
+		pl.Sources.Stats.TraceSpan(tr, "tree.build", dev.Rank, 0, srcT)
+		pl.Batches.Stats.TraceSpan(tr, "batches.build", dev.Rank, srcT, srcT+batchT)
+		tr.Span("lists.build", trace.CatBuild, dev.Rank, trace.TrackHost, srcT+batchT, hc.Now(),
+			trace.A("mac_tests", pl.Lists.Stats.MACTests),
+			trace.A("direct_pairs", pl.Lists.Stats.DirectPairs),
+			trace.A("approx_pairs", pl.Lists.Stats.ApproxPairs))
+		tr.Span("setup", trace.CatPhase, dev.Rank, trace.TrackHost, 0, hc.Now())
+	}
 
 	// --- Precompute phase: modified charges on the device. ---
 	start := time.Now()
@@ -70,6 +90,8 @@ func RunDevice(pl *Plan, k kernel.Kernel, dev *device.Device, opt DeviceOptions)
 	hc.AdvanceTo(dev.CopyOut(hc.Now(), pl.Clusters.ChargesBytes()))
 	res.Times[perfmodel.PhasePrecompute] = hc.Now() - res.Times[perfmodel.PhaseSetup]
 	res.Wall[perfmodel.PhasePrecompute] = time.Since(start).Seconds()
+	tr.Span("precompute", trace.CatPhase, dev.Rank, trace.TrackHost,
+		res.Times[perfmodel.PhaseSetup], hc.Now())
 
 	// --- Compute phase: potential evaluation on the device. ---
 	start = time.Now()
@@ -102,6 +124,7 @@ func RunDevice(pl *Plan, k kernel.Kernel, dev *device.Device, opt DeviceOptions)
 	hc.AdvanceTo(dev.CopyOut(hc.Now(), 8*nTg))
 	res.Times[perfmodel.PhaseCompute] = hc.Now() - preEnd
 	res.Wall[perfmodel.PhaseCompute] = time.Since(start).Seconds()
+	tr.Span("compute", trace.CatPhase, dev.Rank, trace.TrackHost, preEnd, hc.Now())
 
 	if !opt.ModelOnly {
 		res.Phi = make([]float64, nTg)

@@ -69,13 +69,14 @@ func NewLauncher(dev *device.Device, host *perfmodel.Clock, k kernel.Kernel,
 
 // queue advances the host clock for one launch and returns the kernel's
 // earliest device-side start; in Sync mode the host also waits for the
-// kernel itself.
-func (l *Launcher) queue(work float64, grid, block int) (device.LaunchSpec, float64) {
+// kernel itself. label names the kernel in the trace.
+func (l *Launcher) queue(label string, work float64, grid, block int) (device.LaunchSpec, float64) {
 	spec := device.LaunchSpec{
 		Stream: l.launch % l.Streams,
 		Grid:   grid,
 		Block:  block,
 		FlopEq: work,
+		Label:  label,
 	}
 	l.launch++
 	l.Host.Advance(l.Dev.Spec.LaunchOverheadHost)
@@ -102,7 +103,7 @@ func (l *Launcher) queue(work float64, grid, block int) (device.LaunchSpec, floa
 // order).
 func (l *Launcher) LaunchDirect(tg *particle.Set, bLo, nb int, src *particle.Set, cLo, cHi int, phi *device.AccumBuffer) {
 	work := float64(nb) * float64(cHi-cLo) * l.perEval
-	spec, submit := l.queue(work, nb, minInt(cHi-cLo, 1024))
+	spec, submit := l.queue("direct", work, nb, minInt(cHi-cLo, 1024))
 	var fn func(int)
 	if !l.ModelOnly {
 		k := l.Kernel
@@ -128,7 +129,7 @@ func (l *Launcher) LaunchDirect(tg *particle.Set, bLo, nb int, src *particle.Set
 func (l *Launcher) LaunchApprox(tg *particle.Set, bLo, nb int, px, py, pz, qhat []float64, phi *device.AccumBuffer) {
 	np := len(px)
 	work := float64(nb) * float64(np) * l.perEval
-	spec, submit := l.queue(work, nb, minInt(np, 1024))
+	spec, submit := l.queue("approx", work, nb, minInt(np, 1024))
 	var fn func(int)
 	if !l.ModelOnly {
 		k := l.Kernel
@@ -190,6 +191,7 @@ func LaunchChargeKernels(cd *ClusterData, t *tree.Tree, dev *device.Device,
 			Grid:   nc,
 			Block:  m,
 			FlopEq: p1,
+			Label:  "charges.pass1",
 		}, math.Max(hc.Now(), dataReady), fn1)
 		launch++
 
@@ -200,6 +202,7 @@ func LaunchChargeKernels(cd *ClusterData, t *tree.Tree, dev *device.Device,
 			Grid:   np,
 			Block:  minInt(nc, 1024),
 			FlopEq: p2,
+			Label:  "charges.pass2",
 		}, math.Max(hc.Now(), dataReady), fn2)
 		launch++
 		if !modelOnly {

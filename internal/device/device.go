@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"barytree/internal/perfmodel"
+	"barytree/internal/trace"
 )
 
 // Precision selects the arithmetic width of device kernels. The paper's
@@ -58,10 +59,19 @@ type Device struct {
 	Spec      perfmodel.GPUSpec
 	Precision Precision
 
+	// Tracer, when non-nil, receives one span per kernel launch (emitted at
+	// Drain, when the stream schedule is known) and per copy-engine
+	// transfer, plus activity counters. Set it before the first launch; it
+	// is read without synchronization.
+	Tracer *trace.Tracer
+	// Rank attributes this device's spans to an MPI rank (0 by default).
+	Rank int
+
 	workers int
 
 	mu        sync.Mutex
 	launches  []launchRecord
+	traced    int     // launches already exported as spans this phase
 	phaseBase float64 // host time at the start of the current phase window
 	htodReady float64 // copy-engine ready times (absolute modeled seconds)
 	dtohReady float64
@@ -78,10 +88,12 @@ type Stats struct {
 }
 
 type launchRecord struct {
-	stream  int
-	submit  float64 // earliest device-side start (absolute modeled seconds)
-	work    float64 // flop-equivalents
-	threads int     // grid * block, for the occupancy model
+	stream int
+	submit float64 // earliest device-side start (absolute modeled seconds)
+	work   float64 // flop-equivalents
+	grid   int     // thread blocks (grid*block drives the occupancy model)
+	block  int     // threads per block
+	label  string  // kernel name for tracing ("" -> "kernel")
 }
 
 // New returns a simulated device with the given spec. workers <= 0 selects
@@ -96,7 +108,7 @@ func New(spec perfmodel.GPUSpec, workers int) *Device {
 	return &Device{Spec: spec, workers: workers}
 }
 
-// Stats returns a copy of the lifetime counters.
+// StatsSnapshot returns a copy of the lifetime counters.
 func (d *Device) StatsSnapshot() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -122,6 +134,9 @@ type LaunchSpec struct {
 	Grid, Block int
 	// FlopEq is the modeled work of the whole launch in flop-equivalents.
 	FlopEq float64
+	// Label names the kernel for tracing ("direct", "approx",
+	// "charges.pass1", ...). An empty label traces as "kernel".
+	Label string
 }
 
 // Launch functionally executes fn(block) for every block in [0, Grid) on
@@ -141,14 +156,18 @@ func (d *Device) Launch(spec LaunchSpec, submit float64, fn func(block int)) {
 	stream := spec.Stream % d.Spec.Streams
 	d.mu.Lock()
 	d.launches = append(d.launches, launchRecord{
-		stream:  stream,
-		submit:  submit + d.Spec.LaunchLatencyDevice,
-		work:    spec.FlopEq,
-		threads: spec.Grid * spec.Block,
+		stream: stream,
+		submit: submit + d.Spec.LaunchLatencyDevice,
+		work:   spec.FlopEq,
+		grid:   spec.Grid,
+		block:  spec.Block,
+		label:  spec.Label,
 	})
 	d.stats.Launches++
 	d.stats.FlopEq += spec.FlopEq
 	d.mu.Unlock()
+	d.Tracer.Add("device.launches", 1)
+	d.Tracer.Add("device.flop_eq", spec.FlopEq)
 
 	if fn != nil {
 		d.run(spec.Grid, fn)
@@ -192,6 +211,7 @@ func (d *Device) BeginPhase(t float64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.launches = d.launches[:0]
+	d.traced = 0
 	d.phaseBase = t
 	if d.htodReady < t {
 		d.htodReady = t
@@ -206,12 +226,15 @@ func (d *Device) BeginPhase(t float64) {
 // engine but overlap with kernel execution.
 func (d *Device) CopyIn(t float64, nbytes int64) float64 {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	start := math.Max(t, d.htodReady)
 	done := start + d.Spec.TransferLatency + float64(nbytes)/d.Spec.HtoDBandwidth
 	d.htodReady = done
 	d.stats.BytesHtoD += nbytes
 	d.stats.Transfers++
+	d.mu.Unlock()
+	d.Tracer.Span("h2d", trace.CatTransfer, d.Rank, trace.TrackHtoD, start, done,
+		trace.A("bytes", nbytes))
+	d.Tracer.Add("device.bytes_h2d", float64(nbytes))
 	return done
 }
 
@@ -219,12 +242,15 @@ func (d *Device) CopyIn(t float64, nbytes int64) float64 {
 // and returns its completion time.
 func (d *Device) CopyOut(t float64, nbytes int64) float64 {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	start := math.Max(t, d.dtohReady)
 	done := start + d.Spec.TransferLatency + float64(nbytes)/d.Spec.DtoHBandwidth
 	d.dtohReady = done
 	d.stats.BytesDtoH += nbytes
 	d.stats.Transfers++
+	d.mu.Unlock()
+	d.Tracer.Span("d2h", trace.CatTransfer, d.Rank, trace.TrackDtoH, start, done,
+		trace.A("bytes", nbytes))
+	d.Tracer.Add("device.bytes_d2h", float64(nbytes))
 	return done
 }
 
@@ -232,29 +258,56 @@ func (d *Device) CopyOut(t float64, nbytes int64) float64 {
 // BeginPhase and returns the modeled time at which the last kernel
 // completes. If no launches were recorded it returns the phase base time.
 // Drain is idempotent: calling it twice without new launches returns the
-// same time.
+// same time. When a Tracer is attached, the first Drain covering a launch
+// emits its kernel span (the per-kernel start/end is only known once the
+// stream schedule is replayed).
 func (d *Device) Drain() float64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return simulate(d.launches, d.Spec.Streams, d.effectiveRate(), float64(d.Spec.ThreadCapacity()), d.phaseBase)
+	end, iv := simulate(d.launches, d.Spec.Streams, d.effectiveRate(), float64(d.Spec.ThreadCapacity()), d.phaseBase)
+	if d.Tracer.Enabled() {
+		for i := d.traced; i < len(d.launches); i++ {
+			l := &d.launches[i]
+			name := l.label
+			if name == "" {
+				name = "kernel"
+			}
+			d.Tracer.Span(name, trace.CatKernel, d.Rank, trace.StreamTrack(l.stream),
+				iv[i].start, iv[i].end,
+				trace.A("grid", l.grid), trace.A("block", l.block), trace.A("flop_eq", l.work))
+		}
+		d.traced = len(d.launches)
+	}
+	return end
+}
+
+// interval is one kernel's device-side execution window in the replayed
+// schedule.
+type interval struct {
+	start, end float64
 }
 
 // simulate replays the fluid-flow stream schedule: per-stream FIFO order,
 // proportional device sharing capped by each kernel's occupancy share
-// u = threads/capacity, total rate capped at R.
-func simulate(launches []launchRecord, streams int, rate, capacity, base float64) float64 {
+// u = threads/capacity, total rate capped at R. It returns the completion
+// time of the last kernel and the execution interval of every launch
+// (indexed like launches).
+func simulate(launches []launchRecord, streams int, rate, capacity, base float64) (float64, []interval) {
 	if len(launches) == 0 {
-		return base
+		return base, nil
 	}
-	// Per-stream FIFO queues (submission order is append order).
-	queues := make([][]launchRecord, streams)
-	for _, l := range launches {
-		queues[l.stream] = append(queues[l.stream], l)
+	// Per-stream FIFO queues of launch indices (submission order is append
+	// order).
+	queues := make([][]int, streams)
+	for i, l := range launches {
+		queues[l.stream] = append(queues[l.stream], i)
 	}
 	type active struct {
 		remaining float64
 		u         float64
+		idx       int
 	}
+	iv := make([]interval, len(launches))
 	heads := make([]int, streams)       // next kernel index per stream
 	running := make([]*active, streams) // active kernel per stream (nil if idle)
 	t := base
@@ -265,16 +318,18 @@ func simulate(launches []launchRecord, streams int, rate, capacity, base float64
 			if running[s] != nil || heads[s] >= len(queues[s]) {
 				continue
 			}
-			k := queues[s][heads[s]]
+			ki := queues[s][heads[s]]
+			k := launches[ki]
 			if k.submit <= t {
-				u := float64(k.threads) / capacity
+				u := float64(k.grid*k.block) / capacity
 				if u > 1 {
 					u = 1
 				}
 				if u <= 0 {
 					u = 1 / capacity // at least one thread's worth
 				}
-				running[s] = &active{remaining: k.work, u: u}
+				running[s] = &active{remaining: k.work, u: u, idx: ki}
+				iv[ki].start = math.Max(t, k.submit)
 				heads[s]++
 			}
 		}
@@ -291,8 +346,8 @@ func simulate(launches []launchRecord, streams int, rate, capacity, base float64
 			// Jump to the next submission.
 			next := math.Inf(1)
 			for s := 0; s < streams; s++ {
-				if heads[s] < len(queues[s]) && queues[s][heads[s]].submit < next {
-					next = queues[s][heads[s]].submit
+				if heads[s] < len(queues[s]) && launches[queues[s][heads[s]]].submit < next {
+					next = launches[queues[s][heads[s]]].submit
 				}
 			}
 			t = next
@@ -313,7 +368,7 @@ func simulate(launches []launchRecord, streams int, rate, capacity, base float64
 					dt = c
 				}
 			} else if heads[s] < len(queues[s]) {
-				if c := queues[s][heads[s]].submit - t; c < dt {
+				if c := launches[queues[s][heads[s]]].submit - t; c < dt {
 					dt = c
 				}
 			}
@@ -331,11 +386,12 @@ func simulate(launches []launchRecord, streams int, rate, capacity, base float64
 			r := rate * k.u * share
 			k.remaining -= r * dt
 			if k.remaining <= eps*math.Max(1, k.u*rate) {
+				iv[k.idx].end = t + dt
 				running[s] = nil
 				done++
 			}
 		}
 		t += dt
 	}
-	return t
+	return t, iv
 }

@@ -1,0 +1,104 @@
+package device
+
+import (
+	"testing"
+
+	"barytree/internal/perfmodel"
+	"barytree/internal/trace"
+)
+
+// TestDrainEmitsKernelSpans checks that Drain emits exactly one span per
+// launch, that the spans reproduce the fluid-flow schedule (per-stream FIFO
+// with no overlap within a stream, nothing past the Drain time), and that a
+// second Drain without new launches emits nothing.
+func TestDrainEmitsKernelSpans(t *testing.T) {
+	d := New(perfmodel.TitanV(), 1)
+	d.Tracer = trace.New()
+	d.Rank = 3
+	d.BeginPhase(0)
+
+	const launches = 24
+	submit := 0.0
+	for i := 0; i < launches; i++ {
+		d.Launch(LaunchSpec{
+			Stream: i % d.Spec.Streams,
+			Grid:   64 + i,
+			Block:  128,
+			FlopEq: 1e7 * float64(1+i%3),
+			Label:  "direct",
+		}, submit, nil)
+		submit += d.Spec.LaunchOverheadHost
+	}
+	end := d.Drain()
+
+	spans := d.Tracer.Spans()
+	var kernels []trace.Span
+	for _, s := range spans {
+		if s.Cat == trace.CatKernel {
+			kernels = append(kernels, s)
+		}
+	}
+	if len(kernels) != launches {
+		t.Fatalf("got %d kernel spans, want %d", len(kernels), launches)
+	}
+	lastEnd := map[string]float64{}
+	for _, s := range kernels {
+		if s.Name != "direct" {
+			t.Errorf("span name %q, want %q", s.Name, "direct")
+		}
+		if s.Rank != 3 {
+			t.Errorf("span rank %d, want 3", s.Rank)
+		}
+		if s.End <= s.Start {
+			t.Errorf("span on %s has non-positive duration [%g, %g]", s.Track, s.Start, s.End)
+		}
+		if s.End > end+1e-12 {
+			t.Errorf("span ends at %g after Drain time %g", s.End, end)
+		}
+		// Spans() sorts by start within a track, so FIFO-with-no-overlap
+		// means each span starts at or after the previous one's end.
+		if s.Start < lastEnd[s.Track]-1e-12 {
+			t.Errorf("stream %s: span starting %g overlaps previous end %g",
+				s.Track, s.Start, lastEnd[s.Track])
+		}
+		lastEnd[s.Track] = s.End
+	}
+
+	if again := d.Drain(); again != end {
+		t.Errorf("second Drain returned %g, want %g", again, end)
+	}
+	if n := d.Tracer.Len(); n != len(spans) {
+		t.Errorf("second Drain grew span count %d -> %d", len(spans), n)
+	}
+}
+
+// TestTracingDoesNotChangeTiming runs the same launch sequence with and
+// without a tracer and checks the Drain times agree exactly: attaching a
+// tracer must never perturb modeled time.
+func TestTracingDoesNotChangeTiming(t *testing.T) {
+	run := func(tr *trace.Tracer) (float64, float64) {
+		d := New(perfmodel.P100(), 1)
+		d.Tracer = tr
+		d.BeginPhase(0)
+		submit := 0.0
+		for i := 0; i < 40; i++ {
+			d.Launch(LaunchSpec{
+				Stream: i % d.Spec.Streams,
+				Grid:   32 + 7*i,
+				Block:  256,
+				FlopEq: 5e6 * float64(1+i%5),
+				Label:  "approx",
+			}, submit, nil)
+			submit += d.Spec.LaunchOverheadHost
+		}
+		in := d.CopyIn(submit, 1<<20)
+		out := d.CopyOut(d.Drain(), 1<<18)
+		return in, out
+	}
+
+	inA, outA := run(nil)
+	inB, outB := run(trace.New())
+	if inA != inB || outA != outB {
+		t.Errorf("tracing changed modeled times: (%g, %g) vs (%g, %g)", inA, outA, inB, outB)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"barytree/internal/particle"
 	"barytree/internal/perfmodel"
 	"barytree/internal/rcb"
+	"barytree/internal/trace"
 	"barytree/internal/tree"
 )
 
@@ -60,6 +61,11 @@ type Config struct {
 	OverlapComm bool
 	// Precision selects fp64 or fp32 potential kernels.
 	Precision device.Precision
+	// Tracer, when non-nil, records every rank's phase/build spans, kernel
+	// and transfer spans, RMA operations and counters. The tracer is
+	// shared across rank goroutines (it is internally synchronized) and
+	// never changes modeled times.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) defaults() error {
@@ -141,13 +147,20 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 		rep := &res.Ranks[r.ID()]
 		local, orig := dec.Extract(pts, r.ID())
 		rep.Particles = local.Len()
+		tr := cfg.Tracer
+		r.Tracer = tr
 		dev := device.New(cfg.GPU, cfg.WorkersPerRank)
 		dev.Precision = cfg.Precision
+		dev.Tracer = tr
+		dev.Rank = r.ID()
 		hc := &r.Clock
 		mac := cfg.Params.MAC()
 
 		// --- Setup (part 1): RCB + local tree and batches. ---
 		hc.Advance(float64(local.Len()) * rcbLevels / cfg.CPU.TreeOpRate)
+		rcbEnd := hc.Now()
+		tr.Span("rcb", trace.CatBuild, r.ID(), trace.TrackHost, 0, rcbEnd,
+			trace.A("particles", local.Len()), trace.A("levels", int(rcbLevels)))
 		t := tree.Build(local, cfg.Params.LeafSize)
 		batches := tree.BuildBatches(local, cfg.Params.BatchSize)
 		cd := core.NewClusterData(t, cfg.Params.Degree)
@@ -157,6 +170,11 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 		rep.TreeNodes = len(t.Nodes)
 		rep.Batches = len(batches.Batches)
 		setup1 := hc.Now()
+		if tr.Enabled() {
+			treeT := float64(t.Stats.ParticleScans+t.Stats.ParticleMoves) / cfg.CPU.TreeOpRate
+			t.Stats.TraceSpan(tr, "tree.build", r.ID(), rcbEnd, rcbEnd+treeT)
+			batches.Stats.TraceSpan(tr, "batches.build", r.ID(), rcbEnd+treeT, setup1)
+		}
 
 		// --- Precompute: modified charges on the device. ---
 		dev.BeginPhase(hc.Now())
@@ -165,6 +183,7 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 		hc.AdvanceTo(dev.Drain())
 		hc.AdvanceTo(dev.CopyOut(hc.Now(), cd.ChargesBytes()))
 		precompute := hc.Now() - setup1
+		tr.Span("precompute", trace.CatPhase, r.ID(), trace.TrackHost, setup1, hc.Now())
 
 		// --- Setup (part 2): windows, LET, interaction lists. ---
 		np := mac.InterpPoints()
@@ -193,11 +212,22 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 		rep.LETBytes = r.Stats.GetBytes - getsBefore
 		hc.Advance(float64(l.Stats.MACTests) / cfg.CPU.MACTestRate)
 
+		listsStart := hc.Now()
 		lists := interaction.BuildLists(batches, t, mac)
 		hc.Advance(float64(lists.Stats.MACTests) / cfg.CPU.MACTestRate)
 		rep.Local = lists.Stats
 		rep.Remote = l.Stats
 		setup2 := hc.Now() - setup1 - precompute
+		if tr.Enabled() {
+			tr.Span("lists.build", trace.CatBuild, r.ID(), trace.TrackHost, listsStart, hc.Now(),
+				trace.A("mac_tests", lists.Stats.MACTests),
+				trace.A("direct_pairs", lists.Stats.DirectPairs),
+				trace.A("approx_pairs", lists.Stats.ApproxPairs))
+			// The setup phase is split around the device precompute: part 1
+			// is RCB + local construction, part 2 is windows/LET/lists.
+			tr.Span("setup", trace.CatPhase, r.ID(), trace.TrackHost, 0, setup1)
+			tr.Span("setup", trace.CatPhase, r.ID(), trace.TrackHost, setup1+precompute, hc.Now())
+		}
 
 		if cfg.OverlapComm {
 			// Extension (paper future work): LET communication overlapped
@@ -243,6 +273,7 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 		hc.AdvanceTo(dev.Drain())
 		hc.AdvanceTo(dev.CopyOut(hc.Now(), 8*nTg))
 		compute := hc.Now() - computeStart
+		tr.Span("compute", trace.CatPhase, r.ID(), trace.TrackHost, computeStart, hc.Now())
 
 		rep.Times[perfmodel.PhaseSetup] = setup1 + setup2
 		rep.Times[perfmodel.PhasePrecompute] = precompute

@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"barytree/internal/kernel"
+	"barytree/internal/particle"
+	"barytree/internal/trace"
+)
+
+// TestTraceDeterministicAcrossRuns runs the same distributed solve twice
+// with a tracer attached and checks the exported Chrome trace is
+// byte-identical. Rank goroutines emit spans concurrently in nondeterministic
+// order, so this exercises both the tracer's internal locking (under -race)
+// and the total ordering its export imposes.
+func TestTraceDeterministicAcrossRuns(t *testing.T) {
+	solve := func() ([]byte, []float64, []trace.Span) {
+		rng := rand.New(rand.NewSource(7))
+		pts := particle.UniformCube(4000, rng)
+		cfg := testConfig(4)
+		cfg.Tracer = trace.New()
+		res, err := Run(cfg, kernel.Coulomb{}, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Tracer.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res.Phi, cfg.Tracer.Spans()
+	}
+
+	traceA, phiA, spansA := solve()
+	traceB, phiB, _ := solve()
+	if !bytes.Equal(traceA, traceB) {
+		t.Errorf("trace export differs between identical runs (%d vs %d bytes)",
+			len(traceA), len(traceB))
+	}
+	for i := range phiA {
+		if phiA[i] != phiB[i] {
+			t.Fatalf("phi[%d] differs between identical runs", i)
+		}
+	}
+
+	// The trace must cover every layer: kernels per stream, copy engines,
+	// RMA, and phases, on all four ranks.
+	cats := map[trace.Category]bool{}
+	ranks := map[int]bool{}
+	for _, s := range spansA {
+		cats[s.Cat] = true
+		ranks[s.Rank] = true
+	}
+	for _, cat := range []trace.Category{
+		trace.CatPhase, trace.CatKernel, trace.CatTransfer, trace.CatComm, trace.CatBuild,
+	} {
+		if !cats[cat] {
+			t.Errorf("no spans of category %q in distributed trace", cat)
+		}
+	}
+	if len(ranks) != 4 {
+		t.Errorf("spans cover %d ranks, want 4", len(ranks))
+	}
+}

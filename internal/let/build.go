@@ -8,6 +8,7 @@ import (
 	"barytree/internal/interaction"
 	"barytree/internal/mpisim"
 	"barytree/internal/particle"
+	"barytree/internal/trace"
 	"barytree/internal/tree"
 )
 
@@ -54,6 +55,12 @@ func FlattenCharges(qhat [][]float64, degree int) ([]float64, error) {
 // *before* Expose are visible to remote Gets.
 func Expose(r *mpisim.Rank, t *tree.Tree, chargesFlat []float64, degree int) *Windows {
 	geomArr, topoArr, childArr := SerializeTree(t)
+	// Serialization is charged no modeled time (it is part of the tree
+	// build's counted work), so it traces as an instant marker.
+	r.Tracer.Span("let.serialize", trace.CatBuild, r.ID(), trace.TrackHost,
+		r.Clock.Now(), r.Clock.Now(),
+		trace.A("nodes", len(t.Nodes)),
+		trace.A("words", len(geomArr)+len(topoArr)+len(childArr)))
 	return &Windows{
 		Geom:      mpisim.NewWindow(r, geomArr),
 		Topo:      mpisim.NewWindow(r, topoArr),
@@ -102,6 +109,7 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 		Direct: make([][]int32, len(batches.Batches)),
 	}
 	np := mac.InterpPoints()
+	buildStart := r.Clock.Now()
 	for remote := 0; remote < r.Size(); remote++ {
 		if remote == r.ID() {
 			continue
@@ -163,6 +171,7 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 
 		// Step 2: get the cluster charges and particles the lists demand.
 		if len(approxNodes) > 0 {
+			epochStart := r.Clock.Now()
 			wins.Charges.Lock(remote)
 			for _, ci := range approxNodes {
 				qhat := make([]float64, np)
@@ -176,8 +185,12 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 				l.ClusterHome = append(l.ClusterHome, [2]int32{int32(remote), ci})
 			}
 			wins.Charges.Unlock(remote)
+			r.Tracer.Span("rma.epoch", trace.CatComm, r.ID(), trace.TrackNet,
+				epochStart, r.Clock.Now(),
+				trace.A("target", remote), trace.A("ops", len(approxNodes)))
 		}
 		if len(directNodes) > 0 {
+			epochStart := r.Clock.Now()
 			wins.Particles.Lock(remote)
 			for _, ci := range directNodes {
 				count := int(view.Count[ci])
@@ -191,8 +204,18 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 				l.LeafHome = append(l.LeafHome, [2]int32{int32(remote), ci})
 			}
 			wins.Particles.Unlock(remote)
+			r.Tracer.Span("rma.epoch", trace.CatComm, r.ID(), trace.TrackNet,
+				epochStart, r.Clock.Now(),
+				trace.A("target", remote), trace.A("ops", len(directNodes)))
 		}
 	}
+	r.Tracer.Span("let.build", trace.CatBuild, r.ID(), trace.TrackHost,
+		buildStart, r.Clock.Now(),
+		trace.A("clusters", len(l.ClusterQhat)), trace.A("leaves", len(l.Leaves)),
+		trace.A("bytes", l.Bytes()), trace.A("mac_tests", l.Stats.MACTests))
+	r.Tracer.Add("let.clusters", float64(len(l.ClusterQhat)))
+	r.Tracer.Add("let.leaves", float64(len(l.Leaves)))
+	r.Tracer.Add("let.bytes", float64(l.Bytes()))
 	return l, nil
 }
 

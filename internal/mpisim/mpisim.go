@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"barytree/internal/perfmodel"
+	"barytree/internal/trace"
 )
 
 // Comm is a communicator: a fixed group of ranks with a shared network
@@ -53,6 +54,12 @@ type Rank struct {
 	// through this package.
 	Clock perfmodel.Clock
 
+	// Tracer, when non-nil, receives one comm-category span per RMA
+	// operation and per barrier, attributed to this rank. The tracer may
+	// be shared by all ranks (it is internally synchronized); set it at
+	// the start of the rank function, before any communication.
+	Tracer *trace.Tracer
+
 	winSeq  int
 	collSeq int
 
@@ -62,10 +69,13 @@ type Rank struct {
 
 // CommStats counts one rank's communication operations and volume.
 type CommStats struct {
-	Gets     int
-	Puts     int
+	// Gets and Puts count one-sided operations this rank originated.
+	Gets int
+	Puts int
+	// GetBytes and PutBytes total the payload moved by those operations.
 	GetBytes int64
 	PutBytes int64
+	// Barriers counts collective barrier participations.
 	Barriers int
 }
 
@@ -154,8 +164,13 @@ func (r *Rank) Barrier() {
 		r.Clock.Advance(0)
 		return
 	}
+	start := r.Clock.Now()
 	maxClock := r.comm.barrier.sync(r.Clock.Now())
 	r.Clock.AdvanceTo(maxClock + cost)
+	// The span width is this rank's modeled wait: early ranks show long
+	// barrier spans, the straggler a short one — load imbalance at a
+	// glance.
+	r.Tracer.Span("barrier", trace.CatComm, r.id, trace.TrackNet, start, r.Clock.Now())
 }
 
 // barrier is a reusable sense-reversing barrier that also reduces the

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+
+	"barytree/internal/trace"
 )
 
 // Window is a typed one-sided RMA window, the analogue of an MPI-3 memory
@@ -114,7 +116,11 @@ func (w *Window[T]) Get(r *Rank, target, offset int, dst []T) {
 	nbytes := len(dst) * w.elemSize
 	r.Stats.Gets++
 	r.Stats.GetBytes += int64(nbytes)
+	start := r.Clock.Now()
 	r.Clock.Advance(r.comm.net.TransferTime(r.id, target, nbytes))
+	r.Tracer.Span("rma.get", trace.CatComm, r.id, trace.TrackNet, start, r.Clock.Now(),
+		trace.A("target", target), trace.A("bytes", nbytes))
+	r.Tracer.Add("rma.get_bytes", float64(nbytes))
 }
 
 // Put copies src into the target rank's window starting at offset,
@@ -130,16 +136,24 @@ func (w *Window[T]) Put(r *Rank, target, offset int, src []T) {
 	nbytes := len(src) * w.elemSize
 	r.Stats.Puts++
 	r.Stats.PutBytes += int64(nbytes)
+	start := r.Clock.Now()
 	r.Clock.Advance(r.comm.net.TransferTime(r.id, target, nbytes))
+	r.Tracer.Span("rma.put", trace.CatComm, r.id, trace.TrackNet, start, r.Clock.Now(),
+		trace.A("target", target), trace.A("bytes", nbytes))
+	r.Tracer.Add("rma.put_bytes", float64(nbytes))
 }
 
 // GetAll locks, gets the target's entire window into a new slice, and
-// unlocks. It is the common "fetch the whole tree array" pattern of LET
-// construction.
+// unlocks — one complete passive-target access epoch. It is the common
+// "fetch the whole tree array" pattern of LET construction. The epoch is
+// traced as an "rma.epoch" span enclosing the get.
 func (w *Window[T]) GetAll(r *Rank, target int) []T {
 	dst := make([]T, w.SizeAt(target))
+	start := r.Clock.Now()
 	w.Lock(target)
 	w.Get(r, target, 0, dst)
 	w.Unlock(target)
+	r.Tracer.Span("rma.epoch", trace.CatComm, r.id, trace.TrackNet, start, r.Clock.Now(),
+		trace.A("target", target), trace.A("ops", 1))
 	return dst
 }

@@ -72,6 +72,24 @@ func (p Phase) String() string {
 	return fmt.Sprintf("phase(%d)", int(p))
 }
 
+// Phases returns the phases in execution order (setup, precompute,
+// compute); the trace profile uses it to order its phase table.
+func Phases() []Phase {
+	return []Phase{PhaseSetup, PhasePrecompute, PhaseCompute}
+}
+
+// PhaseNames returns the String names of Phases in execution order. Trace
+// spans of category "phase" use exactly these names, so the list keys the
+// span taxonomy of docs/observability.md to this package's accounting.
+func PhaseNames() []string {
+	ps := Phases()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	return out
+}
+
 // PhaseTimes records modeled seconds per phase.
 type PhaseTimes [numPhases]float64
 
@@ -112,7 +130,9 @@ func (p PhaseTimes) String() string {
 
 // CPUSpec models a multicore CPU node.
 type CPUSpec struct {
-	Name  string
+	// Name identifies the modeled part in reports.
+	Name string
+	// Cores is the number of physical cores the OpenMP loops use.
 	Cores int
 	// FlopEqRate is the sustained per-core rate, in kernel flop-equivalents
 	// per second, achieved by the portable-C-style inner loops of the CPU
@@ -152,7 +172,10 @@ func XeonX5650() CPUSpec {
 
 // GPUSpec models a GPU for both throughput and transfer accounting.
 type GPUSpec struct {
-	Name           string
+	// Name identifies the modeled part in reports.
+	Name string
+	// SMs, FP64LanesPerSM and ClockGHz determine peak fp64 throughput
+	// (FMA counted as two flops).
 	SMs            int
 	FP64LanesPerSM int
 	ClockGHz       float64
@@ -175,7 +198,8 @@ type GPUSpec struct {
 	// LaunchLatencyDevice is seconds from queue to device-side start when
 	// the stream is idle.
 	LaunchLatencyDevice float64
-	// HtoDBandwidth and DtoHBandwidth are PCIe transfer rates in bytes/s.
+	// HtoDBandwidth and DtoHBandwidth are PCIe transfer rates in bytes/s,
+	// one per copy-engine direction.
 	HtoDBandwidth float64
 	DtoHBandwidth float64
 	// TransferLatency is fixed seconds per host/device transfer.
@@ -243,13 +267,14 @@ func P100() GPUSpec {
 
 // NetworkSpec models the interconnect for the MPI RMA cost accounting.
 type NetworkSpec struct {
+	// Name identifies the modeled fabric in reports.
 	Name string
 	// Latency is seconds per one-sided operation (lock+get/put+flush).
 	Latency float64
 	// Bandwidth is bytes/s for bulk transfers.
 	Bandwidth float64
-	// IntraNodeBandwidth is used between ranks on the same node (the paper
-	// runs 4 GPUs per node); IntraNodeLatency likewise.
+	// IntraNodeBandwidth and IntraNodeLatency are used between ranks on
+	// the same node (the paper runs 4 GPUs per node).
 	IntraNodeBandwidth float64
 	IntraNodeLatency   float64
 	// RanksPerNode determines which pairs are intra-node.

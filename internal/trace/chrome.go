@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteChrome exports the trace in Chrome trace-event JSON format, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Each rank becomes one
+// process (pid = rank) and each track one named thread of that process, so
+// the timeline shows per-stream kernel rows, copy-engine rows and the net
+// row side by side. Timestamps are modeled microseconds. Spans with
+// End <= Start are exported as instant events.
+//
+// The output is deterministic: spans are emitted in the Spans() order and
+// all JSON object keys are written in a fixed order. A nil tracer writes a
+// valid empty trace.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	spans := t.Spans()
+
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	// Metadata: name every rank's process and every track's thread.
+	type rankTrack struct {
+		rank int
+		tid  int
+	}
+	tids := map[string]rankTrack{} // "rank\x00track" -> assignment
+	lastRank := -1
+	nextTid := 0
+	for _, s := range spans {
+		if s.Rank != lastRank {
+			lastRank = s.Rank
+			nextTid = 0
+			emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+				s.Rank, jstr(fmt.Sprintf("rank %d", s.Rank))))
+		}
+		key := fmt.Sprintf("%d\x00%s", s.Rank, s.Track)
+		if _, ok := tids[key]; !ok {
+			tids[key] = rankTrack{rank: s.Rank, tid: nextTid}
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				s.Rank, nextTid, jstr(s.Track)))
+			nextTid++
+		}
+	}
+
+	for _, s := range spans {
+		tid := tids[fmt.Sprintf("%d\x00%s", s.Rank, s.Track)].tid
+		ts := s.Start * 1e6
+		args := jargs(s.Args)
+		if s.End <= s.Start {
+			emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":%s}`,
+				jstr(s.Name), jstr(string(s.Cat)), s.Rank, tid, jnum(ts), args))
+			continue
+		}
+		emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":%s}`,
+			jstr(s.Name), jstr(string(s.Cat)), s.Rank, tid, jnum(ts), jnum((s.End-s.Start)*1e6), args))
+	}
+
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the Chrome trace to the named file.
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// jstr JSON-encodes a string (always succeeds).
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// jnum formats a microsecond timestamp. json.Marshal of float64 yields the
+// shortest round-trip decimal, which is deterministic across platforms.
+func jnum(v float64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// jargs encodes span args as a JSON object preserving argument order.
+func jargs(args []Arg) string {
+	if len(args) == 0 {
+		return "{}"
+	}
+	out := []byte{'{'}
+	for i, a := range args {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, jstr(a.Key)...)
+		out = append(out, ':')
+		v, err := json.Marshal(a.Value)
+		if err != nil {
+			v, _ = json.Marshal(fmt.Sprint(a.Value))
+		}
+		out = append(out, v...)
+	}
+	return string(append(out, '}'))
+}

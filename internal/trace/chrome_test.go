@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeGolden is the exact expected export for the fixed span set of
+// TestChromeGolden. The format is load-bearing: Perfetto and
+// chrome://tracing parse exactly this shape (complete "X" events with
+// microsecond ts/dur, instant "i" events, process/thread metadata).
+const chromeGolden = `{"traceEvents":[
+{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"rank 0"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"host"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"stream-0"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":2,"args":{"name":"copy-h2d"}},
+{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"rank 1"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"net"}},
+{"name":"setup","cat":"phase","ph":"X","pid":0,"tid":0,"ts":0,"dur":1000000,"args":{}},
+{"name":"mark","cat":"build","ph":"i","s":"t","pid":0,"tid":0,"ts":250000,"args":{"nodes":9}},
+{"name":"direct","cat":"kernel","ph":"X","pid":0,"tid":1,"ts":1000000,"dur":500000,"args":{"grid":128,"block":256}},
+{"name":"h2d","cat":"transfer","ph":"X","pid":0,"tid":2,"ts":100000,"dur":150000,"args":{"bytes":4096}},
+{"name":"rma.get","cat":"comm","ph":"X","pid":1,"tid":0,"ts":2000000,"dur":250000,"args":{"target":0}}
+],"displayTimeUnit":"ms"}
+`
+
+// TestChromeGolden: a fixed span set exports byte-identically to the
+// golden document, and the document is valid JSON in the trace-event
+// envelope shape.
+func TestChromeGolden(t *testing.T) {
+	tr := New()
+	tr.Span("direct", CatKernel, 0, StreamTrack(0), 1, 1.5, A("grid", 128), A("block", 256))
+	tr.Span("setup", CatPhase, 0, TrackHost, 0, 1)
+	tr.Span("rma.get", CatComm, 1, TrackNet, 2, 2.25, A("target", 0))
+	tr.Span("h2d", CatTransfer, 0, TrackHtoD, 0.1, 0.25, A("bytes", 4096))
+	tr.Span("mark", CatBuild, 0, TrackHost, 0.25, 0.25, A("nodes", 9)) // instant
+
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if got != chromeGolden {
+		t.Errorf("chrome export mismatch:\n--- got ---\n%s--- want ---\n%s", got, chromeGolden)
+	}
+
+	// Structural validity: parses as JSON with a traceEvents array whose
+	// events carry the required fields.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var xEvents int
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			xEvents++
+			for _, field := range []string{"name", "cat", "pid", "tid", "ts", "dur"} {
+				if _, ok := ev[field]; !ok {
+					t.Errorf("X event missing %q: %v", field, ev)
+				}
+			}
+		case "M", "i":
+		default:
+			t.Errorf("unexpected event phase %q: %v", ph, ev)
+		}
+	}
+	if xEvents != 4 {
+		t.Errorf("got %d complete events, want 4", xEvents)
+	}
+}

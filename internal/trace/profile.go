@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// nameAgg accumulates spans sharing a name.
+type nameAgg struct {
+	name  string
+	count int
+	secs  float64
+}
+
+// WriteProfile renders text summary tables from the recorded spans and
+// counters: modeled time by phase (per rank the phase's spans are summed;
+// across ranks the maximum is reported, matching the barrier-separated
+// phase accounting of the paper's Section 4), busy time by kernel, by
+// transfer/communication operation, per-rank totals, and all counters.
+//
+// phaseOrder fixes the row order of the phase table (typically setup,
+// precompute, compute); phases not listed are appended alphabetically.
+// Kernel busy time sums over streams, so it can legitimately exceed the
+// compute phase duration when asynchronous streams overlap — that surplus
+// is exactly the overlap the paper's Figure 4 credits to async streams.
+// A nil tracer writes an empty profile.
+func (t *Tracer) WriteProfile(w io.Writer, phaseOrder ...string) error {
+	spans := t.Spans()
+
+	// --- Aggregate. ---
+	phases := map[string]map[int]float64{} // name -> rank -> summed seconds
+	kernels := map[string]*nameAgg{}
+	moves := map[string]*nameAgg{} // transfers + comm
+	type rankAgg struct {
+		kernelSecs, transferSecs, commSecs float64
+		launches                           int
+	}
+	ranks := map[int]*rankAgg{}
+	rankOf := func(r int) *rankAgg {
+		a := ranks[r]
+		if a == nil {
+			a = &rankAgg{}
+			ranks[r] = a
+		}
+		return a
+	}
+	addNamed := func(m map[string]*nameAgg, name string, d float64) {
+		a := m[name]
+		if a == nil {
+			a = &nameAgg{name: name}
+			m[name] = a
+		}
+		a.count++
+		a.secs += d
+	}
+	for _, s := range spans {
+		d := s.Dur()
+		switch s.Cat {
+		case CatPhase:
+			pr := phases[s.Name]
+			if pr == nil {
+				pr = map[int]float64{}
+				phases[s.Name] = pr
+			}
+			pr[s.Rank] += d
+		case CatKernel:
+			addNamed(kernels, s.Name, d)
+			rankOf(s.Rank).kernelSecs += d
+			rankOf(s.Rank).launches++
+		case CatTransfer:
+			addNamed(moves, s.Name, d)
+			rankOf(s.Rank).transferSecs += d
+		case CatComm:
+			addNamed(moves, s.Name, d)
+			rankOf(s.Rank).commSecs += d
+		}
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+
+	// --- Time by phase. ---
+	if len(phases) > 0 {
+		names := orderedNames(phases, phaseOrder)
+		fmt.Fprintln(tw, "phase\tmax-over-ranks\tmax-rank\tsum-over-ranks")
+		var total float64
+		for _, name := range names {
+			maxSec, maxRank, sum := -1.0, 0, 0.0
+			perRank := phases[name]
+			rs := make([]int, 0, len(perRank))
+			for r := range perRank {
+				rs = append(rs, r)
+			}
+			sort.Ints(rs)
+			for _, r := range rs {
+				sum += perRank[r]
+				if perRank[r] > maxSec {
+					maxSec, maxRank = perRank[r], r
+				}
+			}
+			total += maxSec
+			fmt.Fprintf(tw, "%s\t%.6g s\t%d\t%.6g s\n", name, maxSec, maxRank, sum)
+		}
+		fmt.Fprintf(tw, "total\t%.6g s\t\t\n", total)
+		fmt.Fprintln(tw)
+	}
+
+	// --- Busy time by kernel. ---
+	if len(kernels) > 0 {
+		list := sortedAggs(kernels)
+		var total float64
+		for _, a := range list {
+			total += a.secs
+		}
+		fmt.Fprintln(tw, "kernel\tlaunches\tbusy\tshare")
+		for _, a := range list {
+			fmt.Fprintf(tw, "%s\t%d\t%.6g s\t%.1f%%\n", a.name, a.count, a.secs, 100*a.secs/total)
+		}
+		fmt.Fprintf(tw, "all kernels\t%d\t%.6g s\t\n", countSum(list), total)
+		fmt.Fprintln(tw)
+	}
+
+	// --- Transfers and communication. ---
+	if len(moves) > 0 {
+		fmt.Fprintln(tw, "transfer/comm\tops\tbusy")
+		for _, a := range sortedAggs(moves) {
+			fmt.Fprintf(tw, "%s\t%d\t%.6g s\n", a.name, a.count, a.secs)
+		}
+		fmt.Fprintln(tw)
+	}
+
+	// --- Per rank. ---
+	if len(ranks) > 1 {
+		ids := make([]int, 0, len(ranks))
+		for r := range ranks {
+			ids = append(ids, r)
+		}
+		sort.Ints(ids)
+		fmt.Fprintln(tw, "rank\tlaunches\tkernel-busy\ttransfer-busy\tcomm-busy")
+		for _, r := range ids {
+			a := ranks[r]
+			fmt.Fprintf(tw, "%d\t%d\t%.6g s\t%.6g s\t%.6g s\n",
+				r, a.launches, a.kernelSecs, a.transferSecs, a.commSecs)
+		}
+		fmt.Fprintln(tw)
+	}
+
+	// --- Counters. ---
+	if cs := t.Counters(); len(cs) > 0 {
+		fmt.Fprintln(tw, "counter\tvalue")
+		for _, c := range cs {
+			fmt.Fprintf(tw, "%s\t%.6g\n", c.Name, c.Value)
+		}
+	}
+	return tw.Flush()
+}
+
+// orderedNames returns the keys of m with the names in pref first (when
+// present), then the rest alphabetically.
+func orderedNames(m map[string]map[int]float64, pref []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range pref {
+		if _, ok := m[p]; ok && !seen[p] {
+			out = append(out, p)
+			seen[p] = true
+		}
+	}
+	var rest []string
+	for k := range m {
+		if !seen[k] {
+			rest = append(rest, k)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// sortedAggs returns the aggregates sorted by descending busy time, then
+// name for determinism.
+func sortedAggs(m map[string]*nameAgg) []*nameAgg {
+	out := make([]*nameAgg, 0, len(m))
+	for _, a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].secs != out[j].secs {
+			return out[i].secs > out[j].secs
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// countSum sums the op counts of the aggregates.
+func countSum(list []*nameAgg) int {
+	var n int
+	for _, a := range list {
+		n += a.count
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+// Package trace is the execution tracing and counters subsystem of the
+// treecode: a structured record of *where modeled time goes*, designed to
+// make the effects the paper's evaluation discusses visible — launch
+// overhead hidden by asynchronous streams (Figure 4), the growing
+// precompute fraction on small kernels (Figure 6c,d), and the overlap of
+// computation, transfers and RMA communication across ranks.
+//
+// A Tracer collects spans (named intervals in *modeled* seconds, attributed
+// to a rank and a track such as a device stream or a copy engine) and
+// counters (monotonic sums: flop-equivalents, bytes moved, launches, LET
+// cells shipped). The producing packages are internal/device (one span per
+// kernel launch and per copy-engine transfer), internal/core (phase and
+// build spans, kernel labels), internal/let and internal/mpisim (LET
+// construction, RMA epochs, barriers) and internal/dist (per-rank phases).
+//
+// Two consumers are provided: WriteChrome exports Chrome trace-event JSON
+// (viewable in Perfetto or chrome://tracing, one process per rank and one
+// track per stream/engine), and WriteProfile renders text summary tables
+// (time by phase, by kernel, by rank). See docs/observability.md.
+//
+// Every Tracer method is safe to call on a nil receiver and does nothing,
+// so instrumentation call sites stay branch-free and a disabled trace has
+// zero cost beyond the method call. All recorded times are modeled, never
+// wall-clock, so traces are deterministic and machine-independent.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Category classifies spans for filtering and profile aggregation.
+type Category string
+
+const (
+	// CatPhase marks the paper's coarse accounting phases (setup,
+	// precompute, compute) on a rank's host track.
+	CatPhase Category = "phase"
+	// CatKernel marks one device kernel execution on a stream track.
+	CatKernel Category = "kernel"
+	// CatTransfer marks one host/device copy on a copy-engine track.
+	CatTransfer Category = "transfer"
+	// CatComm marks RMA operations, epochs and barriers on the net track.
+	CatComm Category = "comm"
+	// CatBuild marks host-side construction work (trees, batches,
+	// interaction lists, LET assembly).
+	CatBuild Category = "build"
+)
+
+// Track names. Tracks are rendered as separate rows (threads) of a rank's
+// process in the Chrome trace export.
+const (
+	// TrackHost carries phase and build spans (the rank's host thread).
+	TrackHost = "host"
+	// TrackHtoD carries host-to-device copy spans.
+	TrackHtoD = "copy-h2d"
+	// TrackDtoH carries device-to-host copy spans.
+	TrackDtoH = "copy-d2h"
+	// TrackNet carries RMA and barrier spans.
+	TrackNet = "net"
+)
+
+// StreamTrack returns the track name of device stream s.
+func StreamTrack(s int) string { return fmt.Sprintf("stream-%d", s) }
+
+// Arg is one key/value annotation on a span. Values should be strings,
+// integers or floats (they are JSON-marshaled by the Chrome export).
+type Arg struct {
+	Key   string
+	Value any
+}
+
+// A is a shorthand Arg constructor: trace.A("grid", 128).
+func A(key string, value any) Arg { return Arg{Key: key, Value: value} }
+
+// Span is one attributed interval in modeled seconds. A span with
+// End <= Start is an instant marker (exported as a Chrome instant event).
+type Span struct {
+	// Name identifies what ran (kernel label, phase name, "rma.get", ...).
+	Name string
+	// Cat is the span's category.
+	Cat Category
+	// Rank attributes the span to an MPI rank (0 for single-device runs).
+	Rank int
+	// Track places the span on a timeline row: TrackHost, StreamTrack(i),
+	// TrackHtoD, TrackDtoH or TrackNet.
+	Track string
+	// Start and End are modeled seconds since the start of the run.
+	Start, End float64
+	// Args are optional annotations (grid/block shape, bytes, targets...).
+	Args []Arg
+}
+
+// Dur returns the span duration in modeled seconds (0 for instants).
+func (s Span) Dur() float64 {
+	if s.End <= s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Counter is one named accumulated value.
+type Counter struct {
+	Name  string
+	Value float64
+}
+
+// Tracer collects spans and counters from concurrent producers. The zero
+// value is NOT usable; create one with New. A nil *Tracer is a valid no-op
+// sink: every method checks the receiver, so call sites never branch.
+type Tracer struct {
+	mu       sync.Mutex
+	spans    []Span
+	counters map[string]float64
+}
+
+// New returns an empty enabled Tracer.
+func New() *Tracer {
+	return &Tracer{counters: map[string]float64{}}
+}
+
+// Enabled reports whether the tracer records anything (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one span. Safe for concurrent use and on a nil receiver.
+func (t *Tracer) Emit(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Span records a span built from its fields; a convenience over Emit.
+func (t *Tracer) Span(name string, cat Category, rank int, track string, start, end float64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.Emit(Span{Name: name, Cat: cat, Rank: rank, Track: track, Start: start, End: end, Args: args})
+}
+
+// Add accumulates v into the named counter. Safe for concurrent use and on
+// a nil receiver.
+func (t *Tracer) Add(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.counters[name] += v
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans (0 for nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a sorted copy of all recorded spans. The order is total and
+// deterministic regardless of emission order: by rank, then track (host
+// first, then streams by index, copy engines, net, then others by name),
+// then start time ascending, then end time *descending* (so an enclosing
+// span precedes its children, the nesting order Chrome viewers expect),
+// then name. A nil tracer returns nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return spanLess(out[i], out[j]) })
+	return out
+}
+
+// Counters returns all counters sorted by name. A nil tracer returns nil.
+func (t *Tracer) Counters() []Counter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Counter, 0, len(t.counters))
+	for k, v := range t.counters {
+		out = append(out, Counter{Name: k, Value: v})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// spanLess is the total order documented on Spans.
+func spanLess(a, b Span) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	ac, ai := trackOrder(a.Track)
+	bc, bi := trackOrder(b.Track)
+	if ac != bc {
+		return ac < bc
+	}
+	if ai != bi {
+		return ai < bi
+	}
+	if a.Track != b.Track {
+		return a.Track < b.Track
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.End != b.End {
+		return a.End > b.End // longer (enclosing) span first
+	}
+	return a.Name < b.Name
+}
+
+// trackOrder assigns each track a (class, index) sort key: host, streams by
+// index, HtoD, DtoH, net, then everything else (class 5, ordered by name
+// via spanLess's tiebreak).
+func trackOrder(track string) (class, index int) {
+	switch track {
+	case TrackHost:
+		return 0, 0
+	case TrackHtoD:
+		return 2, 0
+	case TrackDtoH:
+		return 3, 0
+	case TrackNet:
+		return 4, 0
+	}
+	var s int
+	if n, err := fmt.Sscanf(track, "stream-%d", &s); err == nil && n == 1 {
+		return 1, s
+	}
+	return 5, 0
+}

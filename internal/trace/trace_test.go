@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilTracerNoOp: every method of a nil *Tracer is a safe no-op, so
+// instrumentation call sites never branch on enablement.
+func TestNilTracerNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Span{Name: "x"})
+	tr.Span("y", CatKernel, 0, TrackHost, 0, 1)
+	tr.Add("c", 1)
+	if tr.Len() != 0 || tr.Spans() != nil || tr.Counters() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatalf("WriteChrome on nil tracer: %v", err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents"`) {
+		t.Fatalf("nil trace export is not a valid trace document: %q", sb.String())
+	}
+	sb.Reset()
+	if err := tr.WriteProfile(&sb); err != nil {
+		t.Fatalf("WriteProfile on nil tracer: %v", err)
+	}
+}
+
+// TestSpanOrdering: Spans() imposes the documented total order regardless
+// of emission order — rank, then track class (host, streams by index, copy
+// engines, net), then start ascending, then end descending (nesting).
+func TestSpanOrdering(t *testing.T) {
+	tr := New()
+	// Deliberately emit in scrambled order.
+	tr.Span("k-late", CatKernel, 0, StreamTrack(1), 2, 3)
+	tr.Span("net", CatComm, 1, TrackNet, 0, 1)
+	tr.Span("child", CatBuild, 0, TrackHost, 0, 1)
+	tr.Span("k-early", CatKernel, 0, StreamTrack(0), 1, 2)
+	tr.Span("parent", CatPhase, 0, TrackHost, 0, 2)
+	tr.Span("d2h", CatTransfer, 0, TrackDtoH, 5, 6)
+	tr.Span("h2d", CatTransfer, 0, TrackHtoD, 4, 5)
+
+	got := tr.Spans()
+	want := []string{"parent", "child", "k-early", "k-late", "h2d", "d2h", "net"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(got), len(want))
+	}
+	for i, name := range want {
+		if got[i].Name != name {
+			t.Errorf("span %d = %q, want %q (order %v)", i, got[i].Name, name, names(got))
+		}
+	}
+}
+
+// TestNestingOrder: equal-start spans sort longest first so an enclosing
+// span always precedes its children on the same track.
+func TestNestingOrder(t *testing.T) {
+	tr := New()
+	tr.Span("inner", CatBuild, 0, TrackHost, 1, 2)
+	tr.Span("outer", CatPhase, 0, TrackHost, 1, 9)
+	tr.Span("mid", CatBuild, 0, TrackHost, 1, 4)
+	got := names(tr.Spans())
+	want := []string{"outer", "mid", "inner"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("nesting order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCounters: counters accumulate and list sorted by name.
+func TestCounters(t *testing.T) {
+	tr := New()
+	tr.Add("b", 2)
+	tr.Add("a", 1)
+	tr.Add("b", 3)
+	cs := tr.Counters()
+	if len(cs) != 2 || cs[0].Name != "a" || cs[0].Value != 1 || cs[1].Name != "b" || cs[1].Value != 5 {
+		t.Fatalf("counters = %+v", cs)
+	}
+}
+
+// TestConcurrentEmission: many goroutines emitting spans and counters at
+// once (the device worker / rank goroutine pattern) lose nothing and — run
+// under the race detector — expose no data races.
+func TestConcurrentEmission(t *testing.T) {
+	tr := New()
+	const workers, each = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Span("k", CatKernel, w, StreamTrack(i%4), float64(i), float64(i+1))
+				tr.Add("launches", 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*each {
+		t.Fatalf("lost spans: %d != %d", tr.Len(), workers*each)
+	}
+	cs := tr.Counters()
+	if len(cs) != 1 || cs[0].Value != workers*each {
+		t.Fatalf("counter = %+v, want %d", cs, workers*each)
+	}
+	// The sorted export is a pure function of the recorded set.
+	var e1, e2 strings.Builder
+	if err := tr.WriteChrome(&e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChrome(&e2); err != nil {
+		t.Fatal(err)
+	}
+	if e1.String() != e2.String() {
+		t.Fatal("chrome export is not deterministic for a fixed span set")
+	}
+}
+
+func names(spans []Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TestProfileRendersTables: the profile contains the phase, kernel,
+// transfer, rank and counter tables with aggregated values.
+func TestProfileRendersTables(t *testing.T) {
+	tr := New()
+	tr.Span("setup", CatPhase, 0, TrackHost, 0, 1)
+	tr.Span("compute", CatPhase, 0, TrackHost, 1, 3)
+	tr.Span("setup", CatPhase, 1, TrackHost, 0, 2)
+	tr.Span("compute", CatPhase, 1, TrackHost, 2, 3)
+	tr.Span("direct", CatKernel, 0, StreamTrack(0), 1, 2)
+	tr.Span("direct", CatKernel, 1, StreamTrack(0), 1, 2.5)
+	tr.Span("approx", CatKernel, 0, StreamTrack(1), 1, 1.5)
+	tr.Span("h2d", CatTransfer, 0, TrackHtoD, 0, 0.25)
+	tr.Span("rma.get", CatComm, 1, TrackNet, 0.5, 0.75)
+	tr.Add("h2d.bytes", 4096)
+
+	var sb strings.Builder
+	if err := tr.WriteProfile(&sb, "setup", "precompute", "compute"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"phase", "setup", "compute",
+		"kernel", "direct", "approx",
+		"transfer/comm", "h2d", "rma.get",
+		"rank", "counter", "h2d.bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q:\n%s", want, out)
+		}
+	}
+	// setup max over ranks is rank 1's 2 s; phase order must start with setup.
+	if !strings.Contains(out, "2 s") {
+		t.Errorf("profile missing max-over-ranks setup time:\n%s", out)
+	}
+	si, ci := strings.Index(out, "setup"), strings.Index(out, "compute")
+	if si < 0 || ci < 0 || si > ci {
+		t.Errorf("phase rows out of order (setup@%d, compute@%d):\n%s", si, ci, out)
+	}
+}

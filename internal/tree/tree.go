@@ -24,6 +24,7 @@ import (
 
 	"barytree/internal/geom"
 	"barytree/internal/particle"
+	"barytree/internal/trace"
 )
 
 // MaxAspectRatio is the sqrt(2) bound from the paper: a dimension is only
@@ -58,6 +59,19 @@ type BuildStats struct {
 	ParticleMoves int // particle swaps during partitioning
 	ParticleScans int // particle visits during box shrinking + partitioning
 	MaxDepth      int
+}
+
+// TraceSpan emits a build-category span for the construction these stats
+// describe, annotated with the node/leaf/depth counts and the particle
+// traffic the performance model charges for it. Construction itself runs
+// on the host wall clock, so the modeled interval [start, end] is supplied
+// by the caller, which owns the rank's virtual clock. Safe on a nil tracer.
+func (s BuildStats) TraceSpan(tr *trace.Tracer, name string, rank int, start, end float64) {
+	tr.Span(name, trace.CatBuild, rank, trace.TrackHost, start, end,
+		trace.A("nodes", s.Nodes), trace.A("leaves", s.Leaves),
+		trace.A("max_depth", s.MaxDepth),
+		trace.A("particle_scans", s.ParticleScans),
+		trace.A("particle_moves", s.ParticleMoves))
 }
 
 // Tree is the cluster hierarchy over a (re-ordered) particle set.

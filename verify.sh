@@ -1,0 +1,24 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 gate (see ROADMAP.md). Every PR must pass:
+#   gofmt (no unformatted files), go vet, full build, full tests with the
+#   race detector.
+set -e
+
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+echo "gofmt: ok"
+
+go vet ./...
+echo "go vet: ok"
+
+go build ./...
+echo "go build: ok"
+
+go test -race ./...
+echo "verify: all checks passed"
