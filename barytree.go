@@ -359,7 +359,9 @@ func GaussianBlob(n int, sigma float64, seed int64) *Particles {
 }
 
 // SampleIndices returns k distinct uniform indices in [0, n), sorted — a
-// convenience for sampled error measurement on large systems.
+// convenience for sampled error measurement on large systems. The seed
+// fully determines the sample, so a recorded seed reproduces the exact
+// error measurement.
 func SampleIndices(n, k int, seed int64) []int {
 	return metrics.SampleIndices(n, k, rand.New(rand.NewSource(seed)))
 }

@@ -1,0 +1,104 @@
+// Command bltcvet runs the treecode's project-specific static analysis
+// suite (internal/analysis) over the module: determinism of randomness,
+// modeled-time purity, map-iteration ordering before exports, tracer
+// nil-safety, lock copies and goroutine loop-variable capture.
+//
+// Usage:
+//
+//	go run ./cmd/bltcvet ./...
+//	go run ./cmd/bltcvet ./internal/trace ./internal/dist/...
+//	go run ./cmd/bltcvet -list
+//
+// Arguments are directories relative to the module root, with an optional
+// /... suffix for a subtree; no arguments means the whole module. The exit
+// status is 0 when clean, 1 when findings were reported, and 2 on load or
+// type-check failure. Findings are suppressed per line with
+// "//lint:ignore <analyzer> <reason>" (see docs/static-analysis.md).
+// verify.sh runs this between `go vet` and the build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"barytree/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bltcvet [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var pkgs []*analysis.Package
+	for _, pat := range patterns {
+		loaded, err := loader.LoadPattern(pat)
+		if err != nil {
+			fatal(err)
+		}
+		for _, pkg := range loaded {
+			if !seen[pkg.Path] {
+				seen[pkg.Path] = true
+				pkgs = append(pkgs, pkg)
+			}
+		}
+	}
+
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			broken = true
+			fmt.Fprintf(os.Stderr, "bltcvet: typecheck %s: %v\n", pkg.Path, terr)
+		}
+	}
+	if broken {
+		os.Exit(2)
+	}
+
+	diags := analysis.Check(pkgs, analyzers)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", file, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bltcvet:", err)
+	os.Exit(2)
+}

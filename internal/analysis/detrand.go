@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// randConstructors are the math/rand (and math/rand/v2) package functions
+// that build explicitly seeded generators; everything else at package level
+// draws from or mutates the shared global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes an explicit *Rand
+	// math/rand/v2 source constructors, should the module migrate.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// DetRand returns the analyzer that forbids the global math/rand source in
+// non-test code. Every random draw must flow from an explicitly seeded
+// generator — rand.New(rand.NewSource(seed)) — threaded to where it is
+// used, so particle distributions, sampled error estimates and sweep
+// configurations are reproducible from the seed alone. Calls like
+// rand.Intn or rand.Shuffle use the package-global source, whose stream
+// depends on every other global draw in the process (and, seeded by
+// default, on nothing the run records).
+func DetRand() *Analyzer {
+	a := &Analyzer{
+		Name: "detrand",
+		Doc: "forbid global math/rand functions in non-test code; thread an explicitly " +
+			"seeded *rand.Rand (rand.New(rand.NewSource(seed))) instead",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := pkgFunc(pass.Pkg.Info, sel)
+				if fn == nil {
+					return true
+				}
+				if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+					return true
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the global math/rand source; thread an explicitly seeded *rand.Rand through instead",
+					fn.Name())
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCapture returns the analyzer that flags `go func() { ... }()`
+// literals closing over a loop variable instead of receiving it as an
+// argument. Go 1.22 made per-iteration loop variables the language
+// semantics, so this is no longer the classic aliasing bug — it is the
+// project convention for the mpisim rank-goroutine pattern: a rank
+// goroutine's identity (its rank id, its index range) must be pinned in
+// the goroutine's parameter list, where the spawn site shows exactly what
+// each goroutine received and the reviewer does not have to reason about
+// closure capture at all.
+func GoroutineCapture() *Analyzer {
+	a := &Analyzer{
+		Name: "goroutinecapture",
+		Doc: "goroutine function literals must receive loop variables as parameters " +
+			"(go func(id int) {...}(id)), not capture them",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+			// Every loop variable declared in this function.
+			loopVars := map[types.Object]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.RangeStmt:
+					if x.Tok == token.DEFINE {
+						for _, e := range []ast.Expr{x.Key, x.Value} {
+							if id := exprIdent(e); id != nil && id.Name != "_" {
+								if obj := info.Defs[id]; obj != nil {
+									loopVars[obj] = true
+								}
+							}
+						}
+					}
+				case *ast.ForStmt:
+					if init, ok := x.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+						for _, e := range init.Lhs {
+							if id := exprIdent(e); id != nil && id.Name != "_" {
+								if obj := info.Defs[id]; obj != nil {
+									loopVars[obj] = true
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+			if len(loopVars) == 0 {
+				return
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				fl, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				// A loop variable can only be referenced inside its loop's
+				// scope, so any use inside the literal is a capture — unless
+				// the loop itself is declared inside the literal, which is
+				// the goroutine's own (safe) iteration. Uses in gs.Call.Args
+				// are evaluated at spawn time and are the sanctioned pattern.
+				reported := map[types.Object]bool{}
+				ast.Inspect(fl.Body, func(c ast.Node) bool {
+					id, ok := c.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := info.Uses[id]
+					if obj == nil || !loopVars[obj] || reported[obj] {
+						return true
+					}
+					if obj.Pos() >= fl.Pos() && obj.Pos() < fl.End() {
+						return true // declared inside the goroutine's own body
+					}
+					reported[obj] = true
+					pass.Reportf(id.Pos(),
+						"goroutine closes over loop variable %s; pass it as an argument (go func(%s ...) {...}(%s))",
+						obj.Name(), obj.Name(), obj.Name())
+					return true
+				})
+				return true
+			})
+		})
+	}
+	return a
+}

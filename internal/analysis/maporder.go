@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder returns the analyzer that flags ordered output produced directly
+// from a map iteration. Go randomizes map iteration order per run, so a
+// `range m` whose body appends to a slice, writes to an io.Writer (or any
+// Write/WriteString method), or emits trace spans produces a different
+// ordering every execution — exactly the failure mode that would break the
+// repository's byte-identical trace/profile exports and reproducible
+// figure tables. The collect-then-sort idiom is recognized: appending into
+// a slice that is passed to a sort or slices call later in the same
+// function is allowed. Writer and tracer emissions have no after-the-fact
+// fix, so they are always flagged; iterate sorted keys instead.
+func MapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc: "flag range-over-map bodies that append to slices without a later sort, write " +
+			"to writers, or emit trace spans: map order is randomized per run",
+	}
+	a.Run = func(pass *Pass) {
+		funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, fd, rs)
+				return true
+			})
+		})
+	}
+	return a
+}
+
+// checkMapRange inspects one range-over-map statement for order-dependent
+// emissions.
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append(dst, ...) — allowed only when dst is sorted after the loop.
+		if id := exprIdent(call.Fun); id != nil {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" && len(call.Args) > 0 {
+				dst := appendDest(info, call.Args[0])
+				if dst == nil || !sortedAfter(pass, fd, rs, dst) {
+					pass.Reportf(call.Pos(),
+						"append inside range over map without a deterministic sort after the loop; map iteration order is randomized")
+				}
+				return true
+			}
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case isFuncFrom(fn, "fmt") && len(fn.Name()) > 5 && fn.Name()[:6] == "Fprint":
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside range over map writes output in randomized map order; iterate sorted keys", fn.Name())
+		case isFuncFrom(fn, "io") && fn.Name() == "WriteString":
+			pass.Reportf(call.Pos(),
+				"io.WriteString inside range over map writes output in randomized map order; iterate sorted keys")
+		case isWriteMethod(fn):
+			pass.Reportf(call.Pos(),
+				"%s inside range over map writes output in randomized map order; iterate sorted keys", fn.Name())
+		case isTracerEmit(info, call, fn):
+			pass.Reportf(call.Pos(),
+				"trace span emitted inside range over map: span record order becomes nondeterministic; iterate sorted keys")
+		}
+		return true
+	})
+}
+
+// appendDest resolves the destination object of an append call: a plain
+// variable or a struct field selection.
+func appendDest(info *types.Info, arg ast.Expr) types.Object {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// sortedAfter reports whether a sort-package (or slices-package) call
+// referencing dst appears after the range statement in the same function —
+// the collect-then-sort idiom.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, dst types.Object) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || !(isFuncFrom(fn, "sort") || isFuncFrom(fn, "slices")) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(info, arg, dst) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWriteMethod reports whether fn is a Write/WriteString-style method
+// (bytes.Buffer, bufio.Writer, strings.Builder, hash.Hash, ...).
+func isWriteMethod(fn *types.Func) bool {
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// isTracerEmit reports whether the call is Span or Emit on a *Tracer.
+func isTracerEmit(info *types.Info, call *ast.CallExpr, fn *types.Func) bool {
+	if fn.Name() != "Span" && fn.Name() != "Emit" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && isTracerPtr(tv.Type)
+}

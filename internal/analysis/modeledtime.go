@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package time functions that read or depend on the
+// wall clock. Pure time.Duration arithmetic and constants stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// ModeledTime returns the analyzer that forbids wall-clock reads in
+// modeled-time packages. The packages listed carry virtual clocks
+// (perfmodel.Clock): every duration they report is modeled, so a single
+// time.Now or time.Since would silently mix machine-dependent wall time
+// into results that must be byte-identical across runs and hosts. Paper
+// phase accounting (Section 4) and the trace exports both depend on it.
+func ModeledTime(pkgPaths ...string) *Analyzer {
+	modeled := map[string]bool{}
+	for _, p := range pkgPaths {
+		modeled[p] = true
+	}
+	a := &Analyzer{
+		Name: "modeledtime",
+		Doc: "forbid time.Now/time.Sleep/time.Since and friends in modeled-time packages; " +
+			"all time there must come from perfmodel clocks",
+	}
+	a.Run = func(pass *Pass) {
+		if !modeled[pass.Pkg.Path] {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := pkgFunc(pass.Pkg.Info, sel)
+				if fn == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s depends on the wall clock in modeled-time package %s; derive time from perfmodel.Clock",
+					fn.Name(), pass.Pkg.Path)
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// syncLockTypes are the sync types that must never be copied after first
+// use (each embeds state or a noCopy marker).
+var syncLockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+	"Map":       true,
+	"Pool":      true,
+}
+
+// MutexCopy returns the analyzer that flags locks passed or copied by
+// value: function parameters and value receivers whose type contains a sync
+// lock, and `range` value variables that copy a lock per iteration. The
+// stock go vet copylocks check catches assignments; this is the stricter
+// project rule that the *signatures* of the mpisim/device layers never
+// traffic in lock values at all — a copied barrier or window mutex
+// deadlocks rank goroutines in ways that only reproduce under load.
+func MutexCopy() *Analyzer {
+	a := &Analyzer{
+		Name: "mutexcopy",
+		Doc: "flag sync.Mutex (and friends) passed by value in parameters, receivers, " +
+			"results, or copied by range value variables",
+	}
+	a.Run = func(pass *Pass) {
+		info := pass.Pkg.Info
+		funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+			check := func(kind string, fields *ast.FieldList) {
+				if fields == nil {
+					return
+				}
+				for _, field := range fields.List {
+					tv, ok := info.Types[field.Type]
+					if !ok || !containsLock(tv.Type, nil) {
+						continue
+					}
+					pass.Reportf(field.Pos(), "%s of %s copies a lock (%s); use a pointer",
+						kind, fd.Name.Name, tv.Type)
+				}
+			}
+			check("receiver", fd.Recv)
+			check("parameter", fd.Type.Params)
+			check("result", fd.Type.Results)
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || rs.Value == nil {
+					return true
+				}
+				var vt types.Type
+				if id := exprIdent(rs.Value); id != nil {
+					if id.Name == "_" {
+						return true
+					}
+					// A `:=` range value is a definition, recorded in Defs
+					// rather than Types.
+					if obj := info.Defs[id]; obj != nil {
+						vt = obj.Type()
+					}
+				}
+				if vt == nil {
+					tv, ok := info.Types[rs.Value]
+					if !ok {
+						return true
+					}
+					vt = tv.Type
+				}
+				if !containsLock(vt, nil) {
+					return true
+				}
+				pass.Reportf(rs.Value.Pos(),
+					"range value copies a lock (%s) each iteration; range over indices or pointers", vt)
+				return true
+			})
+		})
+	}
+	return a
+}
+
+// containsLock reports whether t holds a sync lock by value, looking
+// through named types, struct fields and arrays. seen guards recursive
+// types.
+func containsLock(t types.Type, seen map[*types.Named]bool) bool {
+	switch x := t.(type) {
+	case *types.Named:
+		obj := x.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		if seen == nil {
+			seen = map[*types.Named]bool{}
+		}
+		seen[x] = true
+		return containsLock(x.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			if containsLock(x.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(x.Elem(), seen)
+	}
+	return false
+}

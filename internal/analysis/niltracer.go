@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilTracer returns the analyzer enforcing the tracer nil-safety
+// convention: a nil *trace.Tracer is the documented "tracing disabled"
+// value, so call sites stay branch-free. That only holds if every exported
+// function or method that takes a *Tracer (receiver or parameter) checks it
+// against nil before touching its fields or dereferencing it. Method calls
+// are fine — methods are themselves nil-safe — but a single unguarded
+// t.mu.Lock() would turn every untraced run into a panic.
+func NilTracer() *Analyzer {
+	a := &Analyzer{
+		Name: "niltracer",
+		Doc: "exported functions and methods taking a *Tracer must nil-check it before " +
+			"accessing fields or dereferencing; nil is the documented no-op tracer",
+	}
+	a.Run = func(pass *Pass) {
+		funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+			if !fd.Name.IsExported() {
+				return
+			}
+			for _, obj := range tracerParams(pass.Pkg.Info, fd) {
+				checkTracerUse(pass, fd, obj)
+			}
+		})
+	}
+	return a
+}
+
+// tracerParams collects the receiver and parameters of fd whose type is a
+// *Tracer.
+func tracerParams(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	collect := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj != nil && isTracerPtr(obj.Type()) {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	return out
+}
+
+// checkTracerUse reports the first field access or dereference of obj in
+// fd's body that is not preceded by a nil check of obj.
+func checkTracerUse(pass *Pass, fd *ast.FuncDecl, obj types.Object) {
+	info := pass.Pkg.Info
+
+	// Position of the first guard: an if (or any) condition comparing obj
+	// against nil. The lexical position is an approximation of dominance,
+	// which matches how the guards in this codebase are written (an early
+	// `if t == nil { return }`).
+	guard := token.Pos(-1)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if guard >= 0 {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+		if (useOf(info, x) == obj && isNilIdent(info, y)) ||
+			(useOf(info, y) == obj && isNilIdent(info, x)) {
+			guard = be.Pos()
+			return false
+		}
+		return true
+	})
+
+	var unsafe ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if unsafe != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if useOf(info, x.X) != obj {
+				return true
+			}
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				unsafe = x
+				return false
+			}
+		case *ast.StarExpr:
+			if useOf(info, x.X) == obj {
+				unsafe = x
+				return false
+			}
+		}
+		return true
+	})
+	if unsafe == nil {
+		return
+	}
+	if guard < 0 || guard > unsafe.Pos() {
+		pass.Reportf(unsafe.Pos(),
+			"%s uses tracer %s (field access or dereference) without a preceding nil check; nil tracers must be no-ops",
+			fd.Name.Name, obj.Name())
+	}
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id := exprIdent(e)
+	if id == nil {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Nil)
+	return ok
+}

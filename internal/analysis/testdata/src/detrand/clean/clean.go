@@ -1,0 +1,26 @@
+// Package clean exercises the detrand analyzer: every draw flows from an
+// explicitly seeded generator, the repository convention.
+package clean
+
+import "math/rand"
+
+// Roll derives every draw from the seed.
+func Roll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// Zipf builds a derived distribution from a caller-threaded generator.
+func Zipf(rng *rand.Rand) uint64 {
+	z := rand.NewZipf(rng, 1.5, 1, 100)
+	return z.Uint64()
+}
+
+// Threaded consumes a caller-threaded generator.
+func Threaded(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+package flagged
+
+import mr "math/rand"
+
+// Aliased shows that import renaming does not hide the global source.
+func Aliased() int64 {
+	return mr.Int63() // want "rand.Int63 draws from the global math/rand source"
+}

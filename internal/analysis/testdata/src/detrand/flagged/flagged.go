@@ -1,0 +1,22 @@
+// Package flagged exercises the detrand analyzer: draws from the global
+// math/rand source.
+package flagged
+
+import "math/rand"
+
+// Roll draws from the shared global source.
+func Roll() int {
+	return rand.Intn(6) // want "rand.Intn draws from the global math/rand source"
+}
+
+// Jitter draws from the shared global source.
+func Jitter() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the global math/rand source"
+}
+
+// Mix permutes via the shared global source.
+func Mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "rand.Shuffle draws from the global math/rand source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}

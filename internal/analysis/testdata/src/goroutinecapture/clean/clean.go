@@ -1,0 +1,47 @@
+// Package clean exercises the goroutinecapture analyzer: loop variables
+// passed as goroutine arguments, and loops owned by the goroutine itself.
+package clean
+
+import "sync"
+
+func sink(int) {}
+
+// Spawn pins the loop variable in the goroutine's parameter list — the
+// mpisim rank-goroutine pattern.
+func Spawn(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x int) {
+			defer wg.Done()
+			sink(x)
+		}(x)
+	}
+	wg.Wait()
+}
+
+// Pool is the worker-pool shape used by device.run and core: the inner
+// loop is declared inside the goroutine literal, which is the goroutine's
+// own iteration, not a capture.
+func Pool(grid, workers int, fn func(int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * grid / workers
+		hi := (w + 1) * grid / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for b := lo; b < hi; b++ {
+				fn(b)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// NotALoopVar captures an ordinary local, which is allowed.
+func NotALoopVar(x int) {
+	go func() {
+		sink(x)
+	}()
+}

@@ -1,0 +1,30 @@
+// Package flagged exercises the goroutinecapture analyzer: goroutine
+// literals closing over loop variables instead of receiving them as
+// parameters.
+package flagged
+
+import "sync"
+
+func sink(int) {}
+
+// Spawn captures the range value in the goroutine body.
+func Spawn(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(x) // want "goroutine closes over loop variable x"
+		}()
+	}
+	wg.Wait()
+}
+
+// Index captures the for-clause index.
+func Index(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			sink(i) // want "goroutine closes over loop variable i"
+		}()
+	}
+}

@@ -1,0 +1,35 @@
+// Package clean exercises the maporder analyzer: the sanctioned
+// collect-then-sort and sorted-keys idioms.
+package clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Keys collects then sorts — the standard idiom, allowed.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump iterates a sorted key slice, not the map.
+func Dump(w io.Writer, m map[string]int) {
+	for _, k := range Keys(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Total only folds commutatively over the map; no ordered output.
+func Total(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

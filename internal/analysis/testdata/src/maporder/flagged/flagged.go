@@ -1,0 +1,45 @@
+// Package flagged exercises the maporder analyzer: ordered output produced
+// directly from randomized map iteration.
+package flagged
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"barytree/internal/trace"
+)
+
+// Keys collects map keys with no sort afterwards: callers see a different
+// order every run.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append inside range over map without a deterministic sort"
+	}
+	return out
+}
+
+// Dump writes rows straight out of the map iteration.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside range over map"
+	}
+}
+
+// Build concatenates in map order.
+func Build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString inside range over map"
+	}
+	return b.String()
+}
+
+// EmitAll records spans in map order, so the trace's insertion order (and
+// any export that is not re-sorted) differs between runs.
+func EmitAll(t *trace.Tracer, m map[string]float64) {
+	for name, end := range m {
+		t.Span(name, trace.CatComm, 0, trace.TrackNet, 0, end) // want "trace span emitted inside range over map"
+	}
+}

@@ -1,0 +1,19 @@
+// Package clean exercises the modeledtime analyzer: duration arithmetic
+// and formatting are allowed in modeled-time packages, only wall-clock
+// reads are not.
+package clean
+
+import "time"
+
+// Tick is pure duration arithmetic, no clock involved.
+const Tick = 10 * time.Millisecond
+
+// Seconds converts a duration without touching any clock.
+func Seconds(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// Format renders a modeled duration.
+func Format(modeledSeconds float64) string {
+	return time.Duration(modeledSeconds * float64(time.Second)).String()
+}

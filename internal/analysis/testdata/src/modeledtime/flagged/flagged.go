@@ -1,0 +1,25 @@
+// Package flagged exercises the modeledtime analyzer: wall-clock reads in
+// a package configured as modeled-time.
+package flagged
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() float64 {
+	return float64(time.Now().UnixNano()) // want "time.Now depends on the wall clock"
+}
+
+// Wait blocks on the wall clock.
+func Wait() {
+	time.Sleep(time.Millisecond) // want "time.Sleep depends on the wall clock"
+}
+
+// Elapsed measures wall time.
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want "time.Since depends on the wall clock"
+}
+
+// Deadline arms a wall-clock timer.
+func Deadline() <-chan time.Time {
+	return time.After(time.Second) // want "time.After depends on the wall clock"
+}

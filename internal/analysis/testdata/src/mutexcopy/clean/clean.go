@@ -1,0 +1,41 @@
+// Package clean exercises the mutexcopy analyzer: lock-bearing values
+// passed by pointer and ranged by index.
+package clean
+
+import "sync"
+
+// guarded embeds a mutex; it must always travel by pointer.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByPointer receives the lock-bearing struct by pointer.
+func ByPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Value uses a pointer receiver.
+func (g *guarded) Value() int {
+	return g.n
+}
+
+// Sum ranges by index, never copying an element.
+func Sum(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// Plain copies of lock-free values are fine.
+func Plain(pairs []struct{ a, b int }) int {
+	total := 0
+	for _, p := range pairs {
+		total += p.a + p.b
+	}
+	return total
+}

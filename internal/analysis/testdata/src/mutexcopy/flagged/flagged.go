@@ -1,0 +1,36 @@
+// Package flagged exercises the mutexcopy analyzer: locks passed or copied
+// by value.
+package flagged
+
+import "sync"
+
+// guarded embeds a mutex, so any by-value copy of it copies the lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue receives a lock by value.
+func ByValue(mu sync.Mutex) { // want "parameter of ByValue copies a lock"
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// Nested receives a lock inside a struct by value.
+func Nested(g guarded) int { // want "parameter of Nested copies a lock"
+	return g.n
+}
+
+// Value uses a by-value receiver on a lock-bearing type.
+func (g guarded) Value() int { // want "receiver of Value copies a lock"
+	return g.n
+}
+
+// Sum copies a lock per iteration through the range value.
+func Sum(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies a lock"
+		total += g.n
+	}
+	return total
+}

@@ -1,0 +1,42 @@
+// Package trace exercises the niltracer analyzer's clean side: guarded
+// field access, guard-or-return shapes, and the always-allowed method
+// calls. (The analyzer keys on a type named Tracer in a package named
+// trace, so fixtures mirror that shape.)
+package trace
+
+// Tracer mirrors the real tracer: nil must mean "tracing disabled".
+type Tracer struct {
+	spans []string
+}
+
+// Record guards before touching fields — the convention.
+func (t *Tracer) Record(name string) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, name)
+}
+
+// Len uses the positive-guard shape.
+func (t *Tracer) Len() int {
+	if t != nil {
+		return len(t.spans)
+	}
+	return 0
+}
+
+// Enabled only compares the receiver, which is always safe.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Forward calls methods on a possibly-nil tracer: methods are nil-safe by
+// convention, so no guard is needed.
+func Forward(t *Tracer, names []string) {
+	for _, n := range names {
+		t.Record(n)
+	}
+}
+
+// lowercase is unexported, so the exported-surface rule does not apply.
+func lowercase(t *Tracer) []string {
+	return t.spans
+}

@@ -1,0 +1,33 @@
+// Package trace exercises the niltracer analyzer: a Tracer-shaped type
+// whose exported entry points touch fields without the nil guard that the
+// real tracer's no-op convention requires. (The analyzer keys on a type
+// named Tracer in a package named trace, so fixtures mirror that shape.)
+package trace
+
+// Tracer mirrors the real tracer: nil must mean "tracing disabled".
+type Tracer struct {
+	spans []string
+}
+
+// Record appends without guarding the receiver: a nil tracer panics.
+func (t *Tracer) Record(name string) {
+	t.spans = append(t.spans, name) // want "Record uses tracer t .* without a preceding nil check"
+}
+
+// LateGuard checks nil only after the field access.
+func (t *Tracer) LateGuard(name string) {
+	t.spans = append(t.spans, name) // want "LateGuard uses tracer t .* without a preceding nil check"
+	if t == nil {
+		return
+	}
+}
+
+// Dump reads a field of a parameter tracer without a guard.
+func Dump(t *Tracer) []string {
+	return t.spans // want "Dump uses tracer t .* without a preceding nil check"
+}
+
+// Clone dereferences a parameter tracer without a guard.
+func Clone(t *Tracer) Tracer {
+	return *t // want "Clone uses tracer t .* without a preceding nil check"
+}

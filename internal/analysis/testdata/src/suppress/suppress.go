@@ -1,0 +1,32 @@
+// Package suppress exercises the //lint:ignore directive: justified
+// suppressions on the flagged line or the line above, a wrong analyzer
+// name that does not suppress, and a malformed directive (missing reason)
+// that is itself reported. Checked by TestSuppression with the detrand
+// analyzer.
+package suppress
+
+import "math/rand"
+
+// Above is suppressed by a directive on the line above the finding.
+func Above() int {
+	//lint:ignore detrand fixture exercises the line-above suppression path
+	return rand.Intn(3)
+}
+
+// Trailing is suppressed by a trailing directive on the finding's line.
+func Trailing() int {
+	return rand.Intn(3) //lint:ignore detrand fixture exercises the trailing suppression path
+}
+
+// Wrong names a different analyzer, so the finding survives.
+func Wrong() int {
+	//lint:ignore maporder wrong analyzer name must not suppress detrand
+	return rand.Intn(3)
+}
+
+// Bare has no reason, so the directive itself is reported (and nothing is
+// suppressed by it).
+func Bare() float64 {
+	//lint:ignore detrand
+	return rand.Float64()
+}

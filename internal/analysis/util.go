@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFunc resolves a selector like rand.Intn or time.Now to the
+// package-level function it names, returning nil if the selector is
+// anything else (method call, field access, unresolved).
+func pkgFunc(info *types.Info, sel *ast.SelectorExpr) *types.Func {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return nil
+	}
+	// The qualifier must be a package name, not a value (a value selector
+	// would make this a method or field even with a nil receiver above).
+	if id := exprIdent(sel.X); id != nil {
+		if _, ok := info.Uses[id].(*types.PkgName); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression's target to a package-level
+// function or method, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isFuncFrom reports whether fn is a package-level function of the package
+// with the given import path.
+func isFuncFrom(fn *types.Func, pkgPath string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isTracerPtr reports whether t is *Tracer for a named type Tracer declared
+// in a package named "trace" (the project's tracer, or a fixture mirroring
+// it).
+func isTracerPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Tracer" && obj.Pkg() != nil && obj.Pkg().Name() == "trace"
+}
+
+// useOf returns the object an identifier expression refers to, or nil.
+func useOf(info *types.Info, e ast.Expr) types.Object {
+	if id := exprIdent(e); id != nil {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// refersTo reports whether any identifier inside n resolves to obj.
+func refersTo(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(pkg *Package, f func(*ast.FuncDecl)) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				f(fd)
+			}
+		}
+	}
+}

@@ -2,6 +2,13 @@
 // relative 2-norm error of treecode potentials against direct-summation
 // references (equation (16)), including the sampled variant used for large
 // systems, plus small summary-statistics helpers for the benchmark harness.
+//
+// Randomness contract: this package never draws from the global math/rand
+// source (the detrand analyzer in cmd/bltcvet enforces it repo-wide).
+// SampleIndices takes an explicit *rand.Rand threaded by the caller —
+// conventionally rand.New(rand.NewSource(seed)) with a recorded seed, as
+// the public barytree.SampleIndices wrapper does — so a sampled error
+// measurement is reproduced exactly by re-running with the same seed.
 package metrics
 
 import (
@@ -51,7 +58,14 @@ func MaxAbsErr(ref, approx []float64) float64 {
 }
 
 // SampleIndices returns k distinct indices drawn uniformly from [0, n). If
-// k >= n it returns all indices 0..n-1. The result is sorted ascending.
+// k >= n it returns all indices 0..n-1. The result is sorted ascending, so
+// it does not leak the iteration order of the selection set.
+//
+// rng must be an explicitly seeded generator (rand.New(rand.NewSource(seed))):
+// the sample is a pure function of n, k and the generator state, which is
+// what makes the paper's sampled error tables reproducible from the
+// recorded seed alone. Floyd's algorithm draws exactly k variates, so the
+// generator advances by the same amount regardless of collisions.
 func SampleIndices(n, k int, rng *rand.Rand) []int {
 	if k >= n {
 		out := make([]int, n)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 
 	"barytree/internal/core"
 	"barytree/internal/device"
@@ -267,7 +268,16 @@ func (r *Fig4Result) CheckShape() []string {
 	for _, p := range r.Points {
 		perKernel[p.Kernel] = append(perKernel[p.Kernel], p)
 	}
-	for name, pts := range perKernel {
+	// Violations are reported in sorted kernel order so the list (and any
+	// log containing it) is identical across runs; map iteration order is
+	// randomized per run.
+	kernels := make([]string, 0, len(perKernel))
+	for name := range perKernel {
+		kernels = append(kernels, name)
+	}
+	sort.Strings(kernels)
+	for _, name := range kernels {
+		pts := perKernel[name]
 		for _, p := range pts {
 			if p.CPUTime >= r.DirectCPU[name]*directSlack {
 				bad = append(bad, fmt.Sprintf("%s theta=%.1f n=%d: CPU treecode %.1fs not below CPU direct %.1fs",
@@ -284,7 +294,8 @@ func (r *Fig4Result) CheckShape() []string {
 		}
 	}
 	// Error decreasing in degree at fixed (kernel, theta).
-	for name, pts := range perKernel {
+	for _, name := range kernels {
+		pts := perKernel[name]
 		for _, th := range r.Config.Thetas {
 			var prev float64 = 1e300
 			for _, n := range r.Config.Degrees {

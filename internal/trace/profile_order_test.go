@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// profileSpans is a small multi-rank span set covering every aggregation
+// table WriteProfile renders.
+var profileSpans = []Span{
+	{Name: "setup", Cat: CatPhase, Rank: 0, Track: TrackHost, Start: 0, End: 1},
+	{Name: "setup", Cat: CatPhase, Rank: 1, Track: TrackHost, Start: 0, End: 2},
+	{Name: "compute", Cat: CatPhase, Rank: 0, Track: TrackHost, Start: 1, End: 4},
+	{Name: "compute", Cat: CatPhase, Rank: 1, Track: TrackHost, Start: 2, End: 3},
+	{Name: "direct", Cat: CatKernel, Rank: 0, Track: "stream-0", Start: 1, End: 2},
+	{Name: "approx", Cat: CatKernel, Rank: 1, Track: "stream-1", Start: 2, End: 3},
+	{Name: "h2d", Cat: CatTransfer, Rank: 0, Track: TrackHtoD, Start: 0.5, End: 0.7},
+	{Name: "rma.get", Cat: CatComm, Rank: 1, Track: TrackNet, Start: 0.2, End: 0.4},
+}
+
+// TestWriteProfileEmissionOrderIndependent: the rendered profile (which
+// aggregates through several maps internally) must be byte-identical no
+// matter what order spans and counters were recorded in — the property the
+// maporder analyzer exists to protect.
+func TestWriteProfileEmissionOrderIndependent(t *testing.T) {
+	forward, backward := New(), New()
+	for i, s := range profileSpans {
+		forward.Emit(s)
+		backward.Emit(profileSpans[len(profileSpans)-1-i])
+	}
+	counters := []string{"device.launches", "rma.get_bytes", "device.flop_eq"}
+	for i, name := range counters {
+		forward.Add(name, float64(i+1))
+		backward.Add(counters[len(counters)-1-i], float64(len(counters)-i))
+	}
+
+	render := func(tr *Tracer) []byte {
+		var buf bytes.Buffer
+		if err := tr.WriteProfile(&buf, "setup", "compute"); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(forward), render(backward)
+	if !bytes.Equal(a, b) {
+		t.Errorf("profile depends on emission order:\n--- forward ---\n%s\n--- backward ---\n%s", a, b)
+	}
+	// And rendering twice from one tracer is stable.
+	if again := render(forward); !bytes.Equal(a, again) {
+		t.Errorf("profile differs across repeated renders:\n%s\nvs\n%s", a, again)
+	}
+}

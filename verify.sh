@@ -1,21 +1,25 @@
 #!/bin/sh
 # verify.sh — the repo's tier-1 gate (see ROADMAP.md). Every PR must pass:
-#   gofmt (no unformatted files), go vet, full build, full tests with the
-#   race detector.
+#   gofmt -s (no unformatted or unsimplified files), go vet, the project's
+#   own static analysis suite (cmd/bltcvet, see docs/static-analysis.md),
+#   full build, full tests with the race detector.
 set -e
 
 cd "$(dirname "$0")"
 
-unformatted=$(gofmt -l .)
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt: unformatted files:" >&2
+    echo "gofmt -s: unformatted files:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
-echo "gofmt: ok"
+echo "gofmt -s: ok"
 
 go vet ./...
 echo "go vet: ok"
+
+go run ./cmd/bltcvet ./...
+echo "bltcvet: ok"
 
 go build ./...
 echo "go build: ok"
