@@ -18,6 +18,7 @@ import (
 	"barytree/internal/core"
 	"barytree/internal/device"
 	"barytree/internal/dist"
+	"barytree/internal/interaction"
 	"barytree/internal/kernel"
 	"barytree/internal/particle"
 	"barytree/internal/perfmodel"
@@ -329,6 +330,7 @@ func BenchmarkBatchBuild100k(b *testing.B) {
 func BenchmarkModifiedCharges(b *testing.B) {
 	pts := barytree.UniformCube(50_000, 2)
 	t := tree.Build(pts, 2000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cd := core.NewClusterData(t, 8)
@@ -393,4 +395,69 @@ func BenchmarkDeviceSimulatorDrain(b *testing.B) {
 		}
 		d.Drain()
 	}
+}
+
+// BenchmarkEvalDirectBlock measures the devirtualized block fast path
+// against the per-interaction interface loop it replaced, for every
+// built-in kernel: one target against a 2000-source block, the shape of a
+// batch/leaf direct-sum inner loop. "iface" dispatches through
+// kernel.Kernel per source (the pre-block-path code, reproduced here via
+// the generic adapter around kernel.Func); "block" is the specialized
+// loop the treecode now runs.
+func BenchmarkEvalDirectBlock(b *testing.B) {
+	const nSrc = 2000
+	src := barytree.UniformCube(nSrc, 11)
+	tg := barytree.UniformCube(16, 12)
+	for _, k := range []kernel.Kernel{
+		kernel.Coulomb{},
+		kernel.Yukawa{Kappa: 0.5},
+		kernel.Gaussian{Sigma: 1.1},
+		kernel.Multiquadric{C: 0.3},
+		kernel.RegularizedCoulomb{Eps: 0.02},
+		kernel.InversePower{P: 3},
+	} {
+		iface := kernel.AsBlock(kernel.Func{KernelName: k.Name(), F: k.Eval})
+		block := kernel.AsBlock(k)
+		b.Run(k.Name()+"/iface", func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				ti := i % tg.Len()
+				sink += iface.EvalBlockAccum(tg.X[ti], tg.Y[ti], tg.Z[ti], src.X, src.Y, src.Z, src.Q)
+			}
+			benchSink = sink
+		})
+		b.Run(k.Name()+"/block", func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				ti := i % tg.Len()
+				sink += block.EvalBlockAccum(tg.X[ti], tg.Y[ti], tg.Z[ti], src.X, src.Y, src.Z, src.Q)
+			}
+			benchSink = sink
+		})
+	}
+}
+
+// benchSink defeats dead-code elimination in the micro-benchmarks.
+var benchSink float64
+
+// BenchmarkBuildLists100k measures interaction-list construction for a
+// 100k-particle system, serial versus the parallel traversal (which is
+// byte-identical to serial; see the interaction package tests).
+func BenchmarkBuildLists100k(b *testing.B) {
+	pts := barytree.UniformCube(100_000, 13)
+	t := tree.Build(pts, 2000)
+	batches := tree.BuildBatches(pts, 2000)
+	mac := interaction.MAC{Theta: 0.8, Degree: 6}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			interaction.BuildListsWorkers(batches, t, mac, 1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			interaction.BuildListsWorkers(batches, t, mac, 0)
+		}
+	})
 }

@@ -202,6 +202,7 @@ func DefaultAnalyzers() []*Analyzer {
 		NilTracer(),
 		MutexCopy(),
 		GoroutineCapture(),
+		HotAlloc(),
 	}
 }
 

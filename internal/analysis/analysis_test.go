@@ -151,6 +151,11 @@ func TestGoroutineCapture(t *testing.T) {
 	checkFixture(t, GoroutineCapture(), "goroutinecapture/clean")
 }
 
+func TestHotAlloc(t *testing.T) {
+	checkFixture(t, HotAlloc(), "hotalloc/flagged")
+	checkFixture(t, HotAlloc(), "hotalloc/clean")
+}
+
 // TestSuppression verifies //lint:ignore semantics on the suppress
 // fixture: justified directives on the finding's line or the line above
 // suppress it, a wrong analyzer name does not, and a directive without a

@@ -1,0 +1,32 @@
+// Package clean exercises the hotalloc analyzer on conforming code:
+// unmarked functions may allocate freely, and marked functions that use
+// caller-owned scratch pass.
+package clean
+
+// Reserve allocates, but is not marked: growth belongs to the caller-owned
+// scratch, outside the hot path.
+func Reserve(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// accumulate is a hot loop that writes only into caller-owned scratch.
+//
+//hot:path
+func accumulate(sx, q, scratch []float64) float64 {
+	var phi float64
+	for j := range sx {
+		scratch[j] = sx[j] * q[j]
+		phi += scratch[j]
+	}
+	return phi
+}
+
+// helper has a doc comment mentioning hot paths in prose without the
+// directive; it is not checked.
+// This function supports hot:path functions by allocating their scratch.
+func helper(n int) []float64 {
+	return make([]float64, n)
+}

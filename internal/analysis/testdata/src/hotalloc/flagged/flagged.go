@@ -1,0 +1,48 @@
+// Package flagged exercises the hotalloc analyzer: allocations inside
+// functions marked //hot:path.
+package flagged
+
+// accumulate is a hot inner loop that allocates its scratch per call.
+//
+//hot:path
+func accumulate(sx, q []float64) float64 {
+	tmp := make([]float64, len(sx)) // want "make in //hot:path function accumulate"
+	var phi float64
+	for j := range sx {
+		tmp[j] = sx[j] * q[j]
+		phi += tmp[j]
+	}
+	return phi
+}
+
+// gather grows a result slice inside a hot loop.
+//
+//hot:path
+func gather(xs []float64, cut float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		if x > cut {
+			out = append(out, x) // want "append in //hot:path function gather"
+		}
+	}
+	return out
+}
+
+// viaClosure allocates inside a function literal defined by a hot
+// function; the literal runs on the hot path too.
+//
+//hot:path
+func viaClosure(xs []float64) float64 {
+	f := func() []float64 {
+		return make([]float64, len(xs)) // want "make in //hot:path function viaClosure"
+	}
+	return f()[0]
+}
+
+// suppressed documents a justified exception.
+//
+//hot:path
+func suppressed(n int) []float64 {
+	//lint:ignore hotalloc one-time reserve, amortized across the run
+	return make([]float64, n)
+}

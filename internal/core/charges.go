@@ -2,9 +2,11 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"barytree/internal/chebyshev"
 	"barytree/internal/particle"
+	"barytree/internal/pool"
 	"barytree/internal/tree"
 )
 
@@ -54,97 +56,139 @@ func chargeWork(n, nc int) (pass1, pass2 float64) {
 	return pass1, pass2
 }
 
-// clusterScratch holds the per-particle barycentric factors of the first
-// preprocessing kernel: t*[j][k] = w_k/(y_j - s_k) per dimension (with
-// removable singularities resolved to Kronecker deltas), and the
-// intermediate charges q-tilde of equation (14).
-type clusterScratch struct {
-	tx, ty, tz [][]float64
+// chargeScratch holds the per-particle intermediates of the first
+// preprocessing kernel for one cluster: the barycentric factors
+// t*[j*m+k] = w_k/(y_j - s_k) per dimension (with removable singularities
+// resolved to Kronecker deltas) and the intermediate charges q-tilde of
+// equation (14).
+//
+// The buffers are flat (row j of tx is tx[j*m:(j+1)*m]) and grown
+// monotonically by Reserve, so one scratch value per worker serves every
+// cluster that worker processes without allocating in the hot loop. Rows
+// are fully overwritten by pass 1 before pass 2 reads them, so no clearing
+// between clusters is needed. Distinct particles touch disjoint rows, which
+// keeps concurrent pass-1 block functions of one device launch race-free.
+type chargeScratch struct {
+	tx, ty, tz []float64
 	qt         []float64
 }
 
-func newClusterScratch(nc int) *clusterScratch {
-	return &clusterScratch{
-		tx: make([][]float64, nc),
-		ty: make([][]float64, nc),
-		tz: make([][]float64, nc),
-		qt: make([]float64, nc),
+// scratchPool recycles charge scratch across charge passes. The root
+// cluster's scratch alone is nc*m floats per dimension — ~11 MB for 50k
+// particles at degree 8 — so letting each pass allocate fresh buffers
+// dominates the pass's B/op; pooling amortizes it to zero in steady state.
+// Safe for determinism: Reserve sizes every row and pass 1 fully
+// overwrites it before pass 2 reads, so results never depend on what a
+// recycled buffer held.
+var scratchPool = sync.Pool{New: func() any { return new(chargeScratch) }}
+
+// Reserve sizes the scratch for a cluster of nc particles at m = degree+1
+// points per dimension, reusing prior capacity.
+func (s *chargeScratch) Reserve(nc, m int) {
+	if n := nc * m; cap(s.tx) < n {
+		s.tx = make([]float64, n)
+		s.ty = make([]float64, n)
+		s.tz = make([]float64, n)
+	} else {
+		s.tx = s.tx[:n]
+		s.ty = s.ty[:n]
+		s.tz = s.tz[:n]
+	}
+	if cap(s.qt) < nc {
+		s.qt = make([]float64, nc)
+	} else {
+		s.qt = s.qt[:nc]
 	}
 }
 
 // pass1Particle computes the intermediate quantity q-tilde (equation (14))
 // and the barycentric factors for the j-th particle of node nd, mirroring
 // one thread block of the first preprocessing kernel.
-func (cd *ClusterData) pass1Particle(src *particle.Set, nd *tree.Node, ni, j int, s *clusterScratch) {
+//
+//hot:path
+func (cd *ClusterData) pass1Particle(src *particle.Set, nd *tree.Node, ni, j int, s *chargeScratch) {
 	g := cd.Grids[ni]
 	m := cd.Degree + 1
 	p := nd.Lo + j
-	tx, dx := barycentricFactors(g.Dims[0], src.X[p], m)
-	ty, dy := barycentricFactors(g.Dims[1], src.Y[p], m)
-	tz, dz := barycentricFactors(g.Dims[2], src.Z[p], m)
-	s.tx[j], s.ty[j], s.tz[j] = tx, ty, tz
+	row := j * m
+	dx := barycentricFactorsInto(g.Dims[0], src.X[p], s.tx[row:row+m])
+	dy := barycentricFactorsInto(g.Dims[1], src.Y[p], s.ty[row:row+m])
+	dz := barycentricFactorsInto(g.Dims[2], src.Z[p], s.tz[row:row+m])
 	s.qt[j] = src.Q[p] / (dx * dy * dz)
 }
 
-// barycentricFactors returns the vector t_k = w_k/(x - s_k) and its sum d
-// for a 1D grid. If x coincides with a node within the singularity
+// barycentricFactorsInto fills t[k] = w_k/(x - s_k) for a 1D grid and
+// returns the sum d. If x coincides with a node within the singularity
 // tolerance, t becomes the Kronecker delta at that node and d = 1, which
-// enforces L_k(x) = delta exactly (Section 2.3 of the paper).
-func barycentricFactors(g chebyshev.Grid1D, x float64, m int) (t []float64, d float64) {
-	t = make([]float64, m)
-	for k := 0; k < m; k++ {
+// enforces L_k(x) = delta exactly (Section 2.3 of the paper). len(t) is the
+// number of grid points m.
+//
+//hot:path
+func barycentricFactorsInto(g chebyshev.Grid1D, x float64, t []float64) (d float64) {
+	for k := range t {
 		diff := x - g.Points[k]
 		if math.Abs(diff) <= chebyshev.SingularityTol {
 			for i := range t {
 				t[i] = 0
 			}
 			t[k] = 1
-			return t, 1
+			return 1
 		}
 		t[k] = g.Weights[k] / diff
 		d += t[k]
 	}
-	return t, d
+	return d
 }
 
 // pass2Point computes the modified charge q-hat at the flat-index-`block`
 // Chebyshev point of node ni from the intermediate quantities
 // (equation (15)), mirroring one thread block of the second preprocessing
 // kernel (threads over particles, reduction at the end).
-func (cd *ClusterData) pass2Point(ni int, s *clusterScratch, block int, qhat []float64) {
+//
+//hot:path
+func (cd *ClusterData) pass2Point(s *chargeScratch, block int, qhat []float64) {
 	m := cd.Degree + 1
 	k3 := block % m
 	k2 := (block / m) % m
 	k1 := block / (m * m)
 	var sum float64
 	for j := range s.qt {
-		sum += s.tx[j][k1] * s.ty[j][k2] * s.tz[j][k3] * s.qt[j]
+		row := j * m
+		sum += s.tx[row+k1] * s.ty[row+k2] * s.tz[row+k3] * s.qt[j]
 	}
 	qhat[block] = sum
 }
 
-// computeChargesNode fills Qhat[ni] on the host (both passes, serial).
-func (cd *ClusterData) computeChargesNode(src *particle.Set, nd *tree.Node, ni int) {
+// computeChargesNode fills Qhat[ni] on the host (both passes, serial),
+// using the caller's scratch buffers. Only the stored q-hat array is
+// allocated.
+func (cd *ClusterData) computeChargesNode(src *particle.Set, nd *tree.Node, ni int, s *chargeScratch) {
 	nc := nd.Count()
-	s := newClusterScratch(nc)
+	s.Reserve(nc, cd.Degree+1)
 	for j := 0; j < nc; j++ {
 		cd.pass1Particle(src, nd, ni, j, s)
 	}
 	np := cd.Grids[ni].NumPoints()
 	qhat := make([]float64, np)
 	for b := 0; b < np; b++ {
-		cd.pass2Point(ni, s, b, qhat)
+		cd.pass2Point(s, b, qhat)
 	}
 	cd.Qhat[ni] = qhat
 }
 
 // ComputeCharges fills the modified charges of every cluster on the host
 // using up to `workers` goroutines (workers <= 0 selects a sensible
-// default). It returns the total modeled flop-equivalents of the work.
+// default). Each worker reuses one flat scratch buffer across its clusters,
+// so the pass allocates only the stored q-hat arrays. It returns the total
+// modeled flop-equivalents of the work.
 func (cd *ClusterData) ComputeCharges(t *tree.Tree, workers int) float64 {
 	flops := cd.TotalChargeWork(t)
-	parallelForNodes(len(t.Nodes), workers, func(i int) {
-		cd.computeChargesNode(t.Particles, &t.Nodes[i], i)
+	pool.Blocks(len(t.Nodes), workers, func(_, lo, hi int) {
+		s := scratchPool.Get().(*chargeScratch)
+		for i := lo; i < hi; i++ {
+			cd.computeChargesNode(t.Particles, &t.Nodes[i], i, s)
+		}
+		scratchPool.Put(s)
 	})
 	return flops
 }

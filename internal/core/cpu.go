@@ -6,6 +6,7 @@ import (
 	"barytree/internal/interaction"
 	"barytree/internal/kernel"
 	"barytree/internal/perfmodel"
+	"barytree/internal/pool"
 )
 
 // Result is the output of a treecode run.
@@ -61,11 +62,13 @@ func RunCPU(pl *Plan, k kernel.Kernel, opt CPUOptions) *Result {
 	res.Wall[perfmodel.PhasePrecompute] = time.Since(start).Seconds()
 	res.Times[perfmodel.PhasePrecompute] = chargeFlops / rate
 
-	// Compute phase: walk every batch's interaction list.
+	// Compute phase: walk every batch's interaction list. The block kernel
+	// is resolved once here; every inner loop below it is devirtualized.
 	start = time.Now()
+	bk := kernel.AsBlock(k)
 	phiBatch := make([]float64, pl.Batches.Targets.Len())
-	parallelForNodes(len(pl.Batches.Batches), opt.Workers, func(bi int) {
-		evalBatchLists(pl, k, bi, phiBatch)
+	pool.For(len(pl.Batches.Batches), opt.Workers, func(bi int) {
+		evalBatchLists(pl, bk, bi, phiBatch)
 	})
 	res.Wall[perfmodel.PhaseCompute] = time.Since(start).Seconds()
 	res.Times[perfmodel.PhaseCompute] = computeFlops(pl.Lists.Stats, k, kernel.ArchCPU) / rate
@@ -82,29 +85,32 @@ func RunCPU(pl *Plan, k kernel.Kernel, opt CPUOptions) *Result {
 // path used by the Solver facade (boundary-integral iterations update
 // charges, not geometry). It returns the modeled compute-phase flop count.
 func RunComputeOnly(pl *Plan, k kernel.Kernel, phi []float64) float64 {
-	parallelForNodes(len(pl.Batches.Batches), 0, func(bi int) {
-		evalBatchLists(pl, k, bi, phi)
+	bk := kernel.AsBlock(k)
+	pool.For(len(pl.Batches.Batches), 0, func(bi int) {
+		evalBatchLists(pl, bk, bi, phi)
 	})
 	return computeFlops(pl.Lists.Stats, k, kernel.ArchCPU)
 }
 
 // evalBatchLists accumulates batch bi's full interaction list into phi
-// (batch target order).
-func evalBatchLists(pl *Plan, k kernel.Kernel, bi int, phi []float64) {
+// (batch target order) through the block fast path.
+//
+//hot:path
+func evalBatchLists(pl *Plan, bk kernel.BlockKernel, bi int, phi []float64) {
 	b := &pl.Batches.Batches[bi]
 	tg := pl.Batches.Targets
 	src := pl.Sources.Particles
 	for _, ci := range pl.Lists.Direct[bi] {
 		nd := &pl.Sources.Nodes[ci]
 		for ti := b.Lo; ti < b.Hi; ti++ {
-			phi[ti] += EvalDirectTarget(k, tg, ti, src, nd.Lo, nd.Hi)
+			phi[ti] += EvalDirectTargetBlock(bk, tg, ti, src, nd.Lo, nd.Hi)
 		}
 	}
 	cd := pl.Clusters
 	for _, ci := range pl.Lists.Approx[bi] {
 		px, py, pz, qhat := cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci]
 		for ti := b.Lo; ti < b.Hi; ti++ {
-			phi[ti] += EvalApproxTarget(k, tg, ti, px, py, pz, qhat)
+			phi[ti] += EvalApproxTargetBlock(bk, tg, ti, px, py, pz, qhat)
 		}
 	}
 }

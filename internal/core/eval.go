@@ -1,9 +1,6 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"barytree/internal/kernel"
 	"barytree/internal/particle"
 )
@@ -12,6 +9,13 @@ import (
 // summation over source particles [cLo, cHi) — the body of one thread block
 // of the batch-cluster direct sum kernel (Figure 3b): the loop over sources
 // is what the GPU parallelizes over threads and reduces.
+//
+// This is the scalar reference path (one interface dispatch per pairwise
+// interaction). The drivers run EvalDirectTargetBlock, which is bit-identical
+// by the BlockKernel contract; this form remains the executable definition of
+// that contract and the fallback for ad-hoc evaluation.
+//
+//hot:path
 func EvalDirectTarget(k kernel.Kernel, tg *particle.Set, ti int, src *particle.Set, cLo, cHi int) float64 {
 	tx, ty, tz := tg.X[ti], tg.Y[ti], tg.Z[ti]
 	var phi float64
@@ -25,6 +29,9 @@ func EvalDirectTarget(k kernel.Kernel, tg *particle.Set, ti int, src *particle.S
 // barycentric particle-cluster approximation (equation (11)): a direct sum
 // over the cluster's Chebyshev points with modified charges. This identical
 // direct-sum structure is what makes the BLTC map efficiently onto GPUs.
+// Scalar reference path; the drivers run EvalApproxTargetBlock.
+//
+//hot:path
 func EvalApproxTarget(k kernel.Kernel, tg *particle.Set, ti int, px, py, pz, qhat []float64) float64 {
 	tx, ty, tz := tg.X[ti], tg.Y[ti], tg.Z[ti]
 	var phi float64
@@ -34,9 +41,28 @@ func EvalApproxTarget(k kernel.Kernel, tg *particle.Set, ti int, px, py, pz, qha
 	return phi
 }
 
+// EvalDirectTargetBlock is the block fast path of EvalDirectTarget: one
+// dynamic dispatch for the whole source block instead of one per source.
+// Resolve bk once per run with kernel.AsBlock.
+//
+//hot:path
+func EvalDirectTargetBlock(bk kernel.BlockKernel, tg *particle.Set, ti int, src *particle.Set, cLo, cHi int) float64 {
+	return bk.EvalBlockAccum(tg.X[ti], tg.Y[ti], tg.Z[ti],
+		src.X[cLo:cHi], src.Y[cLo:cHi], src.Z[cLo:cHi], src.Q[cLo:cHi])
+}
+
+// EvalApproxTargetBlock is the block fast path of EvalApproxTarget.
+//
+//hot:path
+func EvalApproxTargetBlock(bk kernel.BlockKernel, tg *particle.Set, ti int, px, py, pz, qhat []float64) float64 {
+	return bk.EvalBlockAccum(tg.X[ti], tg.Y[ti], tg.Z[ti], px, py, pz, qhat)
+}
+
 // EvalDirectTargetF32 is the single-precision variant of EvalDirectTarget,
 // used by the mixed-precision extension. Accumulation is float32 as well,
-// mirroring an fp32 GPU kernel.
+// mirroring an fp32 GPU kernel. Scalar reference path.
+//
+//hot:path
 func EvalDirectTargetF32(k kernel.F32Kernel, tg *particle.Set, ti int, src *particle.Set, cLo, cHi int) float64 {
 	tx, ty, tz := float32(tg.X[ti]), float32(tg.Y[ti]), float32(tg.Z[ti])
 	var phi float32
@@ -47,6 +73,9 @@ func EvalDirectTargetF32(k kernel.F32Kernel, tg *particle.Set, ti int, src *part
 }
 
 // EvalApproxTargetF32 is the single-precision variant of EvalApproxTarget.
+// Scalar reference path.
+//
+//hot:path
 func EvalApproxTargetF32(k kernel.F32Kernel, tg *particle.Set, ti int, px, py, pz, qhat []float64) float64 {
 	tx, ty, tz := float32(tg.X[ti]), float32(tg.Y[ti]), float32(tg.Z[ti])
 	var phi float32
@@ -56,40 +85,17 @@ func EvalApproxTargetF32(k kernel.F32Kernel, tg *particle.Set, ti int, px, py, p
 	return float64(phi)
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// EvalDirectTargetBlockF32 is the block fast path of EvalDirectTargetF32.
+//
+//hot:path
+func EvalDirectTargetBlockF32(bk kernel.F32BlockKernel, tg *particle.Set, ti int, src *particle.Set, cLo, cHi int) float64 {
+	return float64(bk.EvalBlockAccumF32(float32(tg.X[ti]), float32(tg.Y[ti]), float32(tg.Z[ti]),
+		src.X[cLo:cHi], src.Y[cLo:cHi], src.Z[cLo:cHi], src.Q[cLo:cHi]))
 }
 
-// parallelForNodes runs fn(i) for i in [0, n) over up to `workers`
-// goroutines (workers <= 0 selects GOMAXPROCS). Work is distributed in
-// contiguous ranges.
-func parallelForNodes(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+// EvalApproxTargetBlockF32 is the block fast path of EvalApproxTargetF32.
+//
+//hot:path
+func EvalApproxTargetBlockF32(bk kernel.F32BlockKernel, tg *particle.Set, ti int, px, py, pz, qhat []float64) float64 {
+	return float64(bk.EvalBlockAccumF32(float32(tg.X[ti]), float32(tg.Y[ti]), float32(tg.Z[ti]), px, py, pz, qhat))
 }

@@ -4,6 +4,7 @@ import (
 	"barytree/internal/kernel"
 	"barytree/internal/particle"
 	"barytree/internal/perfmodel"
+	"barytree/internal/pool"
 )
 
 // FieldResult holds potentials and fields (negative forces per unit
@@ -66,7 +67,7 @@ func RunCPUFields(pl *Plan, k kernel.GradKernel, opt CPUOptions) *FieldResult {
 	tg := pl.Batches.Targets
 	src := pl.Sources.Particles
 	cd := pl.Clusters
-	parallelForNodes(len(pl.Batches.Batches), opt.Workers, func(bi int) {
+	pool.For(len(pl.Batches.Batches), opt.Workers, func(bi int) {
 		b := &pl.Batches.Batches[bi]
 		for _, ci := range pl.Lists.Direct[bi] {
 			nd := &pl.Sources.Nodes[ci]

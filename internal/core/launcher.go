@@ -27,7 +27,8 @@ type Launcher struct {
 	// depend on.
 	DataReady float64
 
-	f32       kernel.F32Kernel
+	bk        kernel.BlockKernel
+	f32b      kernel.F32BlockKernel
 	rate      float64
 	capacity  float64
 	perEval   float64
@@ -56,13 +57,18 @@ func NewLauncher(dev *device.Device, host *perfmodel.Clock, k kernel.Kernel,
 		capacity:  float64(dev.Spec.ThreadCapacity()),
 		perEval:   k.Cost(kernel.ArchGPU) + 2,
 	}
+	// Resolve the block fast path once for the whole compute phase; every
+	// kernel body launched below dispatches once per block, not per source.
+	l.bk = kernel.AsBlock(k)
 	if prec == device.FP32 {
 		l.rate *= dev.Spec.FP32Speedup
 		f32, ok := k.(kernel.F32Kernel)
 		if !ok && !modelOnly {
 			panic("core: FP32 requested but kernel does not implement kernel.F32Kernel")
 		}
-		l.f32 = f32
+		if ok {
+			l.f32b = kernel.AsF32Block(f32)
+		}
 	}
 	return l
 }
@@ -103,19 +109,19 @@ func (l *Launcher) queue(label string, work float64, grid, block int) (device.La
 // order).
 func (l *Launcher) LaunchDirect(tg *particle.Set, bLo, nb int, src *particle.Set, cLo, cHi int, phi *device.AccumBuffer) {
 	work := float64(nb) * float64(cHi-cLo) * l.perEval
-	spec, submit := l.queue("direct", work, nb, minInt(cHi-cLo, 1024))
+	spec, submit := l.queue("direct", work, nb, min(cHi-cLo, 1024))
 	var fn func(int)
 	if !l.ModelOnly {
-		k := l.Kernel
-		f32 := l.f32
+		bk := l.bk
+		f32b := l.f32b
 		prec := l.Precision
 		fn = func(block int) {
 			ti := bLo + block
 			var v float64
 			if prec == device.FP32 {
-				v = EvalDirectTargetF32(f32, tg, ti, src, cLo, cHi)
+				v = EvalDirectTargetBlockF32(f32b, tg, ti, src, cLo, cHi)
 			} else {
-				v = EvalDirectTarget(k, tg, ti, src, cLo, cHi)
+				v = EvalDirectTargetBlock(bk, tg, ti, src, cLo, cHi)
 			}
 			phi.Add(ti, v)
 		}
@@ -129,19 +135,19 @@ func (l *Launcher) LaunchDirect(tg *particle.Set, bLo, nb int, src *particle.Set
 func (l *Launcher) LaunchApprox(tg *particle.Set, bLo, nb int, px, py, pz, qhat []float64, phi *device.AccumBuffer) {
 	np := len(px)
 	work := float64(nb) * float64(np) * l.perEval
-	spec, submit := l.queue("approx", work, nb, minInt(np, 1024))
+	spec, submit := l.queue("approx", work, nb, min(np, 1024))
 	var fn func(int)
 	if !l.ModelOnly {
-		k := l.Kernel
-		f32 := l.f32
+		bk := l.bk
+		f32b := l.f32b
 		prec := l.Precision
 		fn = func(block int) {
 			ti := bLo + block
 			var v float64
 			if prec == device.FP32 {
-				v = EvalApproxTargetF32(f32, tg, ti, px, py, pz, qhat)
+				v = EvalApproxTargetBlockF32(f32b, tg, ti, px, py, pz, qhat)
 			} else {
-				v = EvalApproxTarget(k, tg, ti, px, py, pz, qhat)
+				v = EvalApproxTargetBlock(bk, tg, ti, px, py, pz, qhat)
 			}
 			phi.Add(ti, v)
 		}
@@ -164,16 +170,21 @@ func LaunchChargeKernels(cd *ClusterData, t *tree.Tree, dev *device.Device,
 	n := cd.Degree
 	m := n + 1
 	launch := 0
+	// One flat scratch serves every node: functional execution of a launch
+	// is synchronous, so pass 1 and pass 2 of a node complete before the
+	// next node's launches reuse the buffers. Concurrent blocks of one
+	// pass-1 launch write disjoint scratch rows.
+	scratch := scratchPool.Get().(*chargeScratch)
+	defer scratchPool.Put(scratch)
 	for ni := range t.Nodes {
 		nd := &t.Nodes[ni]
 		nc := nd.Count()
 		p1, p2 := chargeWork(n, nc)
 
-		var scratch *clusterScratch
 		var fn1, fn2 func(int)
 		var qhat []float64
 		if !modelOnly {
-			scratch = newClusterScratch(nc)
+			scratch.Reserve(nc, m)
 			qhat = make([]float64, cd.Grids[ni].NumPoints())
 			ni := ni
 			nd := nd
@@ -181,7 +192,7 @@ func LaunchChargeKernels(cd *ClusterData, t *tree.Tree, dev *device.Device,
 				cd.pass1Particle(t.Particles, nd, ni, block, scratch)
 			}
 			fn2 = func(block int) {
-				cd.pass2Point(ni, scratch, block, qhat)
+				cd.pass2Point(scratch, block, qhat)
 			}
 		}
 
@@ -200,7 +211,7 @@ func LaunchChargeKernels(cd *ClusterData, t *tree.Tree, dev *device.Device,
 		dev.Launch(device.LaunchSpec{
 			Stream: launch % streams,
 			Grid:   np,
-			Block:  minInt(nc, 1024),
+			Block:  min(nc, 1024),
 			FlopEq: p2,
 			Label:  "charges.pass2",
 		}, math.Max(hc.Now(), dataReady), fn2)

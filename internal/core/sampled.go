@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"barytree/internal/kernel"
+	"barytree/internal/pool"
 )
 
 // EvaluateSampled functionally evaluates the treecode potential only at the
@@ -50,26 +51,32 @@ func EvaluateSampled(pl *Plan, k kernel.Kernel, sample []int) ([]float64, error)
 		}
 	}
 	sort.Slice(clusters, func(i, j int) bool { return clusters[i] < clusters[j] })
-	parallelForNodes(len(clusters), 0, func(i int) {
-		ci := clusters[i]
-		pl.Clusters.computeChargesNode(pl.Sources.Particles, &pl.Sources.Nodes[ci], int(ci))
+	pool.Blocks(len(clusters), 0, func(_, lo, hi int) {
+		s := scratchPool.Get().(*chargeScratch)
+		for i := lo; i < hi; i++ {
+			ci := clusters[i]
+			pl.Clusters.computeChargesNode(pl.Sources.Particles, &pl.Sources.Nodes[ci], int(ci), s)
+		}
+		scratchPool.Put(s)
 	})
 
-	// Evaluate each sampled target against its batch's lists.
+	// Evaluate each sampled target against its batch's lists through the
+	// block fast path (resolved once).
+	bk := kernel.AsBlock(k)
 	phi := make([]float64, len(sample))
 	tg := pl.Batches.Targets
 	src := pl.Sources.Particles
-	parallelForNodes(len(sample), 0, func(i int) {
+	pool.For(len(sample), 0, func(i int) {
 		bi := batchOf[i]
 		ti := inv[sample[i]]
 		var v float64
 		for _, ci := range pl.Lists.Direct[bi] {
 			nd := &pl.Sources.Nodes[ci]
-			v += EvalDirectTarget(k, tg, ti, src, nd.Lo, nd.Hi)
+			v += EvalDirectTargetBlock(bk, tg, ti, src, nd.Lo, nd.Hi)
 		}
 		cd := pl.Clusters
 		for _, ci := range pl.Lists.Approx[bi] {
-			v += EvalApproxTarget(k, tg, ti, cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci])
+			v += EvalApproxTargetBlock(bk, tg, ti, cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci])
 		}
 		phi[i] = v
 	})

@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"barytree/internal/perfmodel"
+	"barytree/internal/pool"
 	"barytree/internal/trace"
 )
 
@@ -174,34 +175,14 @@ func (d *Device) Launch(spec LaunchSpec, submit float64, fn func(block int)) {
 	}
 }
 
-// run executes fn over the grid with the worker pool.
+// run executes fn over the grid with the worker pool. Tiny grids run
+// serially: the goroutine handoff costs more than the work.
 func (d *Device) run(grid int, fn func(block int)) {
-	if grid == 0 {
-		return
+	workers := d.workers
+	if grid < 4 {
+		workers = 1
 	}
-	w := d.workers
-	if w > grid {
-		w = grid
-	}
-	if w <= 1 || grid < 4 {
-		for b := 0; b < grid; b++ {
-			fn(b)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		lo := i * grid / w
-		hi := (i + 1) * grid / w
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for b := lo; b < hi; b++ {
-				fn(b)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	pool.For(grid, workers, fn)
 }
 
 // BeginPhase marks the start of a phase window at host time t: subsequent

@@ -4,23 +4,26 @@
 // multicore evaluator parallelized over targets, and sampled-target
 // evaluation for error measurement at large N (Section 4 samples the error
 // at a random subset of targets for systems of 8M particles and up).
+//
+// All evaluators resolve the kernel's block fast path (kernel.AsBlock) once
+// per call, so the O(N^2) inner loop pays one dynamic dispatch per target,
+// not per pairwise interaction.
 package direct
 
 import (
-	"runtime"
-	"sync"
-
 	"barytree/internal/kernel"
 	"barytree/internal/particle"
+	"barytree/internal/pool"
 )
 
 // Sum computes phi[i] = sum_j G(x_i, y_j) q_j serially for all targets.
 // When targets and sources are the same set, the singular self term is
 // excluded by the kernel convention G(x,x) = 0.
 func Sum(k kernel.Kernel, targets, sources *particle.Set) []float64 {
+	bk := kernel.AsBlock(k)
 	phi := make([]float64, targets.Len())
 	for i := range phi {
-		phi[i] = at(k, targets, i, sources)
+		phi[i] = at(bk, targets, i, sources)
 	}
 	return phi
 }
@@ -30,33 +33,11 @@ func Sum(k kernel.Kernel, targets, sources *particle.Set) []float64 {
 // contiguous blocks; each worker owns its block of the output, so no
 // synchronization on phi is needed.
 func SumParallel(k kernel.Kernel, targets, sources *particle.Set, workers int) []float64 {
-	n := targets.Len()
-	phi := make([]float64, n)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := range phi {
-			phi[i] = at(k, targets, i, sources)
-		}
-		return phi
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				phi[i] = at(k, targets, i, sources)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	bk := kernel.AsBlock(k)
+	phi := make([]float64, targets.Len())
+	pool.For(len(phi), workers, func(i int) {
+		phi[i] = at(bk, targets, i, sources)
+	})
 	return phi
 }
 
@@ -64,41 +45,21 @@ func SumParallel(k kernel.Kernel, targets, sources *particle.Set, workers int) [
 // returning them in the same order. This is the sampled reference used for
 // error norms at large N.
 func SumAt(k kernel.Kernel, targets *particle.Set, sample []int, sources *particle.Set) []float64 {
+	bk := kernel.AsBlock(k)
 	phi := make([]float64, len(sample))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sample) {
-		workers = len(sample)
-	}
-	if workers <= 1 {
-		for i, t := range sample {
-			phi[i] = at(k, targets, t, sources)
-		}
-		return phi
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * len(sample) / workers
-		hi := (w + 1) * len(sample) / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				phi[i] = at(k, targets, sample[i], sources)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	pool.For(len(sample), 0, func(i int) {
+		phi[i] = at(bk, targets, sample[i], sources)
+	})
 	return phi
 }
 
-// at computes the potential at target index i due to all sources.
-func at(k kernel.Kernel, targets *particle.Set, i int, sources *particle.Set) float64 {
-	tx, ty, tz := targets.X[i], targets.Y[i], targets.Z[i]
-	var phi float64
-	for j := 0; j < sources.Len(); j++ {
-		phi += k.Eval(tx, ty, tz, sources.X[j], sources.Y[j], sources.Z[j]) * sources.Q[j]
-	}
-	return phi
+// at computes the potential at target index i due to all sources through
+// the block fast path.
+//
+//hot:path
+func at(bk kernel.BlockKernel, targets *particle.Set, i int, sources *particle.Set) float64 {
+	return bk.EvalBlockAccum(targets.X[i], targets.Y[i], targets.Z[i],
+		sources.X, sources.Y, sources.Z, sources.Q)
 }
 
 // Interactions returns the number of kernel evaluations a full direct sum

@@ -1,11 +1,9 @@
 package direct
 
 import (
-	"runtime"
-	"sync"
-
 	"barytree/internal/kernel"
 	"barytree/internal/particle"
+	"barytree/internal/pool"
 )
 
 // Fields computes potentials and gradients at all targets by direct
@@ -17,26 +15,9 @@ func Fields(k kernel.GradKernel, targets, sources *particle.Set) (phi, gx, gy, g
 	gx = make([]float64, n)
 	gy = make([]float64, n)
 	gz = make([]float64, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				phi[i], gx[i], gy[i], gz[i] = fieldAt(k, targets, i, sources)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	pool.For(n, 0, func(i int) {
+		phi[i], gx[i], gy[i], gz[i] = fieldAt(k, targets, i, sources)
+	})
 	return phi, gx, gy, gz
 }
 

@@ -213,7 +213,7 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 		hc.Advance(float64(l.Stats.MACTests) / cfg.CPU.MACTestRate)
 
 		listsStart := hc.Now()
-		lists := interaction.BuildLists(batches, t, mac)
+		lists := interaction.BuildListsWorkers(batches, t, mac, cfg.WorkersPerRank)
 		hc.Advance(float64(lists.Stats.MACTests) / cfg.CPU.MACTestRate)
 		rep.Local = lists.Stats
 		rep.Remote = l.Stats

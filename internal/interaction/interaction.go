@@ -18,6 +18,7 @@
 package interaction
 
 import (
+	"barytree/internal/pool"
 	"barytree/internal/tree"
 )
 
@@ -69,6 +70,8 @@ func (m MAC) InterpPoints() int {
 
 // Test applies the MAC to a batch/cluster pair and returns the traversal
 // decision, exactly mirroring lines 11-20 of the BLTC algorithm listing.
+//
+//hot:path
 func (m MAC) Test(batchCenterDist, rB, rC float64, clusterCount int, clusterIsLeaf bool) Decision {
 	geometric := (rB + rC) < m.Theta*batchCenterDist
 	if geometric {
@@ -114,44 +117,85 @@ func (s Stats) TotalInteractions() int64 {
 	return s.ApproxInteractions + s.DirectInteractions
 }
 
+// add accumulates o into s. All fields are sums of non-negative per-pair
+// counts, so accumulation in any grouping reproduces the serial totals
+// exactly (integer addition is associative and commutative).
+func (s *Stats) add(o Stats) {
+	s.MACTests += o.MACTests
+	s.ApproxPairs += o.ApproxPairs
+	s.DirectPairs += o.DirectPairs
+	s.ApproxInteractions += o.ApproxInteractions
+	s.DirectInteractions += o.DirectInteractions
+}
+
 // BuildLists runs the batch/cluster dual traversal for every target batch
-// against the source tree and returns the interaction lists.
+// against the source tree and returns the interaction lists, parallelized
+// over target batches on all cores. The result is byte-identical to a
+// serial build (BuildListsWorkers with one worker): each batch's traversal
+// is independent and fully determined by the batch, the tree and the MAC,
+// and the merged Stats are order-independent integer sums.
 func BuildLists(batches *tree.BatchSet, src *tree.Tree, mac MAC) *Lists {
+	return BuildListsWorkers(batches, src, mac, 0)
+}
+
+// BuildListsWorkers is BuildLists with an explicit worker bound
+// (workers <= 0 selects GOMAXPROCS, 1 is the serial build). Each worker
+// owns a contiguous range of batches and reuses one traversal stack across
+// them.
+func BuildListsWorkers(batches *tree.BatchSet, src *tree.Tree, mac MAC, workers int) *Lists {
+	nb := len(batches.Batches)
 	ls := &Lists{
-		Approx: make([][]int32, len(batches.Batches)),
-		Direct: make([][]int32, len(batches.Batches)),
+		Approx: make([][]int32, nb),
+		Direct: make([][]int32, nb),
 	}
 	if len(src.Nodes) == 0 {
 		return ls
 	}
 	interp := int64(mac.InterpPoints())
-	for bi := range batches.Batches {
-		b := &batches.Batches[bi]
-		nb := int64(b.Count())
-		// Explicit stack to avoid recursion overhead for deep trees.
-		stack := make([]int32, 1, 64)
-		stack[0] = int32(src.Root())
-		for len(stack) > 0 {
-			ci := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			c := &src.Nodes[ci]
-			ls.Stats.MACTests++
-			dist := b.Center.Dist(c.Center)
-			switch mac.Test(dist, b.Radius, c.Radius, c.Count(), c.IsLeaf()) {
-			case Approximate:
-				ls.Approx[bi] = append(ls.Approx[bi], ci)
-				ls.Stats.ApproxPairs++
-				ls.Stats.ApproxInteractions += nb * interp
-			case Direct:
-				ls.Direct[bi] = append(ls.Direct[bi], ci)
-				ls.Stats.DirectPairs++
-				ls.Stats.DirectInteractions += nb * int64(c.Count())
-			case Recurse:
-				stack = append(stack, c.Children...)
-			}
+	perWorker := make([]Stats, pool.Workers(nb, workers))
+	pool.Blocks(nb, workers, func(w, lo, hi int) {
+		// Explicit stack to avoid recursion overhead for deep trees,
+		// allocated once per worker and reused across its batches.
+		stack := make([]int32, 0, 64)
+		st := &perWorker[w]
+		for bi := lo; bi < hi; bi++ {
+			stack = traverseBatch(ls, st, batches, src, mac, interp, bi, stack)
 		}
+	})
+	for i := range perWorker {
+		ls.Stats.add(perWorker[i])
 	}
 	return ls
+}
+
+// traverseBatch walks the source tree for batch bi, appending to the
+// batch's lists and accumulating traversal counts into st. The stack is
+// the caller's reusable scratch; the (possibly grown) slice is returned
+// for the next batch.
+func traverseBatch(ls *Lists, st *Stats, batches *tree.BatchSet, src *tree.Tree, mac MAC, interp int64, bi int, stack []int32) []int32 {
+	b := &batches.Batches[bi]
+	nb := int64(b.Count())
+	stack = append(stack[:0], int32(src.Root()))
+	for len(stack) > 0 {
+		ci := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := &src.Nodes[ci]
+		st.MACTests++
+		dist := b.Center.Dist(c.Center)
+		switch mac.Test(dist, b.Radius, c.Radius, c.Count(), c.IsLeaf()) {
+		case Approximate:
+			ls.Approx[bi] = append(ls.Approx[bi], ci)
+			st.ApproxPairs++
+			st.ApproxInteractions += nb * interp
+		case Direct:
+			ls.Direct[bi] = append(ls.Direct[bi], ci)
+			st.DirectPairs++
+			st.DirectInteractions += nb * int64(c.Count())
+		case Recurse:
+			stack = append(stack, c.Children...)
+		}
+	}
+	return stack
 }
 
 // PerTargetStats runs the traversal with the MAC applied to each target

@@ -2,6 +2,8 @@ package interaction
 
 import (
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"barytree/internal/particle"
@@ -197,5 +199,37 @@ func TestEmptyTree(t *testing.T) {
 	st := PerTargetStats(batches, empty, MAC{Theta: 0.5, Degree: 2})
 	if st.TotalInteractions() != 0 {
 		t.Error("empty tree produced per-target interactions")
+	}
+}
+
+// TestBuildListsWorkersDeterministic verifies the parallel traversal's core
+// guarantee: the lists and stats are byte-identical to the serial build for
+// every worker count, because each batch's traversal is independent and the
+// merged stats are order-independent sums.
+func TestBuildListsWorkersDeterministic(t *testing.T) {
+	batches, tr := buildCase(5000, 7, 64)
+	mac := MAC{Theta: 0.6, Degree: 3}
+	serial := BuildListsWorkers(batches, tr, mac, 1)
+	for _, workers := range []int{1, 2, 4, 7, runtime.GOMAXPROCS(0), 0} {
+		par := BuildListsWorkers(batches, tr, mac, workers)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: lists differ from serial build", workers)
+		}
+	}
+	// BuildLists is the parallel build.
+	if def := BuildLists(batches, tr, mac); !reflect.DeepEqual(serial, def) {
+		t.Errorf("BuildLists differs from serial build")
+	}
+}
+
+// TestBuildListsMoreWorkersThanBatches covers the clamp: worker counts far
+// beyond the batch count must neither deadlock nor change the result.
+func TestBuildListsMoreWorkersThanBatches(t *testing.T) {
+	batches, tr := buildCase(300, 11, 200)
+	mac := MAC{Theta: 0.8, Degree: 2}
+	serial := BuildListsWorkers(batches, tr, mac, 1)
+	par := BuildListsWorkers(batches, tr, mac, 64)
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("oversubscribed build differs from serial")
 	}
 }

@@ -1,0 +1,33 @@
+//go:build amd64
+
+package kernel
+
+// cpuHasAVX reports whether this CPU and OS support AVX (VEX.256 float
+// math). Implemented in block_amd64.s.
+func cpuHasAVX() bool
+
+// coulombBlockAVX4 evaluates sum_j q[j]/|t-s_j| over n sources four lanes
+// at a time with bit-identical rounding and accumulation order to the
+// scalar loop. n must be a positive multiple of 4. Implemented in
+// block_amd64.s.
+func coulombBlockAVX4(tx, ty, tz float64, sx, sy, sz, q *float64, n int) float64
+
+func init() {
+	if cpuHasAVX() {
+		coulombBlockHead = coulombBlockHeadAVX
+	}
+}
+
+// coulombBlockHeadAVX runs the vectorized Coulomb loop over the longest
+// multiple-of-four prefix and reports how many sources it consumed; the
+// caller's scalar loop finishes the tail, preserving the overall
+// accumulation order.
+//
+//hot:path
+func coulombBlockHeadAVX(tx, ty, tz float64, sx, sy, sz, q []float64) (float64, int) {
+	n4 := len(q) &^ 3
+	if n4 == 0 {
+		return 0, 0
+	}
+	return coulombBlockAVX4(tx, ty, tz, &sx[0], &sy[0], &sz[0], &q[0], n4), n4
+}

@@ -1,0 +1,92 @@
+#include "textflag.h"
+
+// Constant 1.0 for the VDIVPD reciprocal broadcast.
+DATA ·avxOne+0(SB)/8, $0x3ff0000000000000
+GLOBL ·avxOne(SB), RODATA|NOPTR, $8
+
+// func cpuHasAVX() bool
+//
+// CPUID leaf 1: ECX bit 28 is AVX, bit 27 is OSXSAVE; XGETBV(0) bits 1 and
+// 2 confirm the OS saves XMM and YMM state across context switches. All
+// three are required before any VEX.256 instruction may execute.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, AX
+	ANDL $(1<<27 | 1<<28), AX
+	CMPL AX, $(1<<27 | 1<<28)
+	JNE  notsupported
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  notsupported
+	MOVB $1, ret+0(FP)
+	RET
+notsupported:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func coulombBlockAVX4(tx, ty, tz float64, sx, sy, sz, q *float64, n int) float64
+//
+// Four-wide Coulomb block evaluation. n must be a positive multiple of 4.
+// Bit-identity with the scalar loop in block.go holds because every vector
+// operation is the IEEE-correctly-rounded per-lane twin of its scalar
+// counterpart (VSUBPD/VMULPD/VADDPD in the same expression order, VSQRTPD
+// for math.Sqrt, VDIVPD for the reciprocal — never FMA), and the only
+// order-sensitive step, the phi accumulation, is done with four scalar
+// VADDSD in source order. The r2 == 0 self-interaction lanes are zeroed by
+// mask, matching the scalar branch; NaN lanes compare unequal to zero and
+// flow through the compute path exactly like the scalar code.
+TEXT ·coulombBlockAVX4(SB), NOSPLIT, $0-72
+	VBROADCASTSD tx+0(FP), Y0
+	VBROADCASTSD ty+8(FP), Y1
+	VBROADCASTSD tz+16(FP), Y2
+	VBROADCASTSD ·avxOne(SB), Y4
+	MOVQ   sx+24(FP), SI
+	MOVQ   sy+32(FP), DI
+	MOVQ   sz+40(FP), R8
+	MOVQ   q+48(FP), R9
+	MOVQ   n+56(FP), CX
+	VXORPD Y3, Y3, Y3              // phi accumulator (low lane of X3)
+	VXORPD Y5, Y5, Y5              // zeros for the r2 == 0 mask
+
+loop:
+	VMOVUPD (SI), Y6               // sx[j:j+4]
+	VMOVUPD (DI), Y7               // sy[j:j+4]
+	VMOVUPD (R8), Y8               // sz[j:j+4]
+	VSUBPD  Y6, Y0, Y6             // dx = tx - sx
+	VSUBPD  Y7, Y1, Y7             // dy = ty - sy
+	VSUBPD  Y8, Y2, Y8             // dz = tz - sz
+	VMULPD  Y6, Y6, Y6             // dx*dx
+	VMULPD  Y7, Y7, Y7             // dy*dy
+	VMULPD  Y8, Y8, Y8             // dz*dz
+	VADDPD  Y7, Y6, Y6             // dx*dx + dy*dy
+	VADDPD  Y8, Y6, Y6             // r2 = (dx*dx + dy*dy) + dz*dz
+	VCMPPD  $0, Y5, Y6, Y8         // mask = (r2 == 0), EQ_OQ
+	VSQRTPD Y6, Y7                 // sqrt(r2)
+	VDIVPD  Y7, Y4, Y7             // g = 1 / sqrt(r2)
+	VANDNPD Y7, Y8, Y7             // g = 0 on self-interaction lanes
+	VMOVUPD (R9), Y9               // q[j:j+4]
+	VMULPD  Y9, Y7, Y7             // g * q
+
+	// phi += the four products, strictly in source order.
+	VADDSD       X7, X3, X3
+	VPERMILPD    $1, X7, X10
+	VADDSD       X10, X3, X3
+	VEXTRACTF128 $1, Y7, X11
+	VADDSD       X11, X3, X3
+	VPERMILPD    $1, X11, X12
+	VADDSD       X12, X3, X3
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	SUBQ $4, CX
+	JNE  loop
+
+	VZEROUPPER
+	MOVSD X3, ret+64(FP)
+	RET

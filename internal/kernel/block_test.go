@@ -1,0 +1,154 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// blockTestKernels lists every built-in kernel with non-trivial parameters.
+func blockTestKernels() []Kernel {
+	return []Kernel{
+		Coulomb{},
+		Yukawa{Kappa: 0.7},
+		Gaussian{Sigma: 1.3},
+		Multiquadric{C: 0.4},
+		RegularizedCoulomb{Eps: 0.05},
+		InversePower{P: 3},
+	}
+}
+
+// blockTestSources builds a random source block that includes a source
+// coincident with the target, exercising the r2 == 0 branch of the
+// singular kernels exactly as self-interactions do in the treecode.
+func blockTestSources(rng *rand.Rand, n int, tx, ty, tz float64) (sx, sy, sz, q []float64) {
+	sx = make([]float64, n)
+	sy = make([]float64, n)
+	sz = make([]float64, n)
+	q = make([]float64, n)
+	for j := range sx {
+		sx[j] = rng.Float64()*2 - 1
+		sy[j] = rng.Float64()*2 - 1
+		sz[j] = rng.Float64()*2 - 1
+		q[j] = rng.Float64()*2 - 1
+	}
+	sx[n/2], sy[n/2], sz[n/2] = tx, ty, tz // self term
+	return sx, sy, sz, q
+}
+
+// scalarAccum is the reference the BlockKernel contract is defined
+// against: per-source interface Eval, accumulated in index order.
+func scalarAccum(k Kernel, tx, ty, tz float64, sx, sy, sz, q []float64) float64 {
+	var phi float64
+	for j := range q {
+		phi += k.Eval(tx, ty, tz, sx[j], sy[j], sz[j]) * q[j]
+	}
+	return phi
+}
+
+// scalarAccumF32 is the single-precision reference: per-element rounding
+// of the float64 storage, float32 accumulation.
+func scalarAccumF32(k F32Kernel, tx, ty, tz float32, sx, sy, sz, q []float64) float32 {
+	var phi float32
+	for j := range q {
+		phi += k.EvalF32(tx, ty, tz, float32(sx[j]), float32(sy[j]), float32(sz[j])) * float32(q[j])
+	}
+	return phi
+}
+
+// TestBlockKernelBitIdentical verifies the BlockKernel contract for every
+// built-in kernel: the specialized block loop, the generic adapter around
+// the same kernel (forced through kernel.Func so AsBlock cannot return the
+// specialization), and the scalar reference loop all produce the same
+// bits.
+func TestBlockKernelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, k := range blockTestKernels() {
+		t.Run(k.Name(), func(t *testing.T) {
+			bk := AsBlock(k)
+			if _, ok := k.(BlockKernel); !ok {
+				t.Fatalf("built-in kernel %s does not implement BlockKernel", k.Name())
+			}
+			adapter := AsBlock(Func{KernelName: k.Name() + "-func", F: k.Eval})
+			for trial := 0; trial < 20; trial++ {
+				n := 1 + rng.Intn(200)
+				tx, ty, tz := rng.Float64(), rng.Float64(), rng.Float64()
+				sx, sy, sz, q := blockTestSources(rng, n, tx, ty, tz)
+
+				want := scalarAccum(k, tx, ty, tz, sx, sy, sz, q)
+				if got := bk.EvalBlockAccum(tx, ty, tz, sx, sy, sz, q); got != want {
+					t.Fatalf("n=%d: specialized block %v != scalar %v (diff %g)",
+						n, got, want, got-want)
+				}
+				if got := adapter.EvalBlockAccum(tx, ty, tz, sx, sy, sz, q); got != want {
+					t.Fatalf("n=%d: adapter block %v != scalar %v", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestF32BlockKernelBitIdentical is the fp32 analogue for the built-in
+// kernels that implement F32Kernel.
+func TestF32BlockKernelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, k := range blockTestKernels() {
+		f32, ok := k.(F32Kernel)
+		if !ok {
+			continue
+		}
+		t.Run(k.Name(), func(t *testing.T) {
+			bk := AsF32Block(f32)
+			if _, ok := f32.(F32BlockKernel); !ok {
+				t.Fatalf("built-in F32 kernel %s does not implement F32BlockKernel", k.Name())
+			}
+			adapter := f32BlockAdapter{f32}
+			for trial := 0; trial < 20; trial++ {
+				n := 1 + rng.Intn(200)
+				tx, ty, tz := float32(rng.Float64()), float32(rng.Float64()), float32(rng.Float64())
+				sx, sy, sz, q := blockTestSources(rng, n, float64(tx), float64(ty), float64(tz))
+
+				want := scalarAccumF32(f32, tx, ty, tz, sx, sy, sz, q)
+				if got := bk.EvalBlockAccumF32(tx, ty, tz, sx, sy, sz, q); got != want {
+					t.Fatalf("n=%d: specialized fp32 block %v != scalar %v", n, got, want)
+				}
+				if got := adapter.EvalBlockAccumF32(tx, ty, tz, sx, sy, sz, q); got != want {
+					t.Fatalf("n=%d: fp32 adapter %v != scalar %v", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAsBlockResolution pins the dispatch rules: built-ins resolve to
+// themselves, foreign kernels to the generic adapter, and resolving an
+// adapter's result again is a no-op.
+func TestAsBlockResolution(t *testing.T) {
+	for _, k := range blockTestKernels() {
+		if bk := AsBlock(k); bk != k {
+			t.Errorf("AsBlock(%s) wrapped a kernel that already implements BlockKernel", k.Name())
+		}
+	}
+	f := Func{KernelName: "custom", F: Coulomb{}.Eval}
+	bk := AsBlock(f)
+	if _, ok := bk.(blockAdapter); !ok {
+		t.Errorf("AsBlock(Func) = %T, want blockAdapter", bk)
+	}
+	if again, ok := AsBlock(bk).(blockAdapter); !ok {
+		t.Errorf("AsBlock(AsBlock(k)) lost the adapter")
+	} else if _, double := again.Kernel.(blockAdapter); double {
+		t.Errorf("AsBlock(AsBlock(k)) double-wrapped the adapter")
+	}
+	// The adapter must preserve the wrapped kernel's metadata.
+	if bk.Name() != "custom" {
+		t.Errorf("adapter name = %q, want custom", bk.Name())
+	}
+}
+
+// TestBlockKernelEmpty verifies the degenerate empty block sums to zero.
+func TestBlockKernelEmpty(t *testing.T) {
+	for _, k := range blockTestKernels() {
+		if got := AsBlock(k).EvalBlockAccum(0.1, 0.2, 0.3, nil, nil, nil, nil); got != 0 {
+			t.Errorf("%s: empty block = %v, want 0", k.Name(), got)
+		}
+	}
+}

@@ -87,10 +87,12 @@ func RunCP(k kernel.Kernel, targets, sources *particle.Set, p core.Params) (*Res
 	phi := make([]float64, targets.Len()) // tree order
 	res := &Result{}
 
-	// Scatter every source leaf into the target tree.
+	// Scatter every source leaf into the target tree through the block fast
+	// path (resolved once for the whole run).
+	bk := kernel.AsBlock(k)
 	for _, si := range st.Leaves() {
 		s := &st.Nodes[si]
-		scatterCP(k, tt, tcd, st.Particles, s, phiHat, phi, &res.Stats, p)
+		scatterCP(bk, tt, tcd, st.Particles, s, phiHat, phi, &res.Stats, p)
 	}
 
 	// Downward pass: L2L to leaves, then L2P to particles.
@@ -102,7 +104,7 @@ func RunCP(k kernel.Kernel, targets, sources *particle.Set, p core.Params) (*Res
 }
 
 // scatterCP walks the target tree for one source leaf s.
-func scatterCP(k kernel.Kernel, tt *tree.Tree, tcd *core.ClusterData, src *particle.Set,
+func scatterCP(bk kernel.BlockKernel, tt *tree.Tree, tcd *core.ClusterData, src *particle.Set,
 	s *tree.Node, phiHat *clusterPotentials, phi []float64, st *Stats, p core.Params) {
 
 	np := tcd.Grids[0].NumPoints()
@@ -117,13 +119,11 @@ func scatterCP(k kernel.Kernel, tt *tree.Tree, tcd *core.ClusterData, src *parti
 		if wellSeparated && np < t.Count() {
 			// CP: accumulate onto the target cluster's proxies.
 			px, py, pz := tcd.PX[ti], tcd.PY[ti], tcd.PZ[ti]
+			sx, sy, sz := src.X[s.Lo:s.Hi], src.Y[s.Lo:s.Hi], src.Z[s.Lo:s.Hi]
+			sq := src.Q[s.Lo:s.Hi]
 			dst := phiHat.data[ti]
 			for m := 0; m < np; m++ {
-				var sum float64
-				for j := s.Lo; j < s.Hi; j++ {
-					sum += k.Eval(px[m], py[m], pz[m], src.X[j], src.Y[j], src.Z[j]) * src.Q[j]
-				}
-				dst[m] += sum
+				dst[m] += bk.EvalBlockAccum(px[m], py[m], pz[m], sx, sy, sz, sq)
 			}
 			st.CPPairs++
 			st.CPInteractions += int64(np) * int64(s.Count())
@@ -134,7 +134,7 @@ func scatterCP(k kernel.Kernel, tt *tree.Tree, tcd *core.ClusterData, src *parti
 			// well-separated but the cluster is smaller than its grid,
 			// direct is cheaper and exact, mirroring the PC size check.)
 			for i := t.Lo; i < t.Hi; i++ {
-				phi[i] += core.EvalDirectTarget(k, tt.Particles, i, src, s.Lo, s.Hi)
+				phi[i] += core.EvalDirectTargetBlock(bk, tt.Particles, i, src, s.Lo, s.Hi)
 			}
 			st.PPPairs++
 			st.PPInteractions += int64(t.Count()) * int64(s.Count())
@@ -195,6 +195,8 @@ func RunCC(k kernel.Kernel, targets, sources *particle.Set, p core.Params) (*Res
 	phi := make([]float64, targets.Len())
 	res := &Result{}
 
+	// Resolve the block fast path once for the whole dual traversal.
+	bk := kernel.AsBlock(k)
 	var dual func(ti, si int32)
 	dual = func(ti, si int32) {
 		t := &tt.Nodes[ti]
@@ -212,18 +214,14 @@ func RunCC(k kernel.Kernel, targets, sources *particle.Set, p core.Params) (*Res
 				qhat := scd.Qhat[si]
 				dst := phiHat.data[ti]
 				for m := 0; m < np; m++ {
-					var sum float64
-					for j := range qhat {
-						sum += k.Eval(px[m], py[m], pz[m], sx[j], sy[j], sz[j]) * qhat[j]
-					}
-					dst[m] += sum
+					dst[m] += bk.EvalBlockAccum(px[m], py[m], pz[m], sx, sy, sz, qhat)
 				}
 				res.Stats.CCPairs++
 				res.Stats.CCInteractions += int64(np) * int64(len(qhat))
 			case bigS:
 				// PC: targets of t against source proxies (the BLTC form).
 				for i := t.Lo; i < t.Hi; i++ {
-					phi[i] += core.EvalApproxTarget(k, tt.Particles, i,
+					phi[i] += core.EvalApproxTargetBlock(bk, tt.Particles, i,
 						scd.PX[si], scd.PY[si], scd.PZ[si], scd.Qhat[si])
 				}
 				res.Stats.PCPairs++
@@ -231,26 +229,23 @@ func RunCC(k kernel.Kernel, targets, sources *particle.Set, p core.Params) (*Res
 			case bigT:
 				// CP: target proxies against source particles.
 				px, py, pz := tcd.PX[ti], tcd.PY[ti], tcd.PZ[ti]
+				sx, sy, sz := st.Particles.X[s.Lo:s.Hi], st.Particles.Y[s.Lo:s.Hi], st.Particles.Z[s.Lo:s.Hi]
+				sq := st.Particles.Q[s.Lo:s.Hi]
 				dst := phiHat.data[ti]
 				for m := 0; m < np; m++ {
-					var sum float64
-					for j := s.Lo; j < s.Hi; j++ {
-						sum += k.Eval(px[m], py[m], pz[m],
-							st.Particles.X[j], st.Particles.Y[j], st.Particles.Z[j]) * st.Particles.Q[j]
-					}
-					dst[m] += sum
+					dst[m] += bk.EvalBlockAccum(px[m], py[m], pz[m], sx, sy, sz, sq)
 				}
 				res.Stats.CPPairs++
 				res.Stats.CPInteractions += int64(np) * int64(s.Count())
 			default:
-				directPP(k, tt, t, st, s, phi, &res.Stats)
+				directPP(bk, tt, t, st, s, phi, &res.Stats)
 			}
 			return
 		}
 		// Not well separated: split the larger cluster.
 		switch {
 		case t.IsLeaf() && s.IsLeaf():
-			directPP(k, tt, t, st, s, phi, &res.Stats)
+			directPP(bk, tt, t, st, s, phi, &res.Stats)
 		case s.IsLeaf() || (!t.IsLeaf() && t.Radius >= s.Radius):
 			for _, ci := range t.Children {
 				dual(ci, si)
@@ -270,9 +265,9 @@ func RunCC(k kernel.Kernel, targets, sources *particle.Set, p core.Params) (*Res
 	return res, nil
 }
 
-func directPP(k kernel.Kernel, tt *tree.Tree, t *tree.Node, st *tree.Tree, s *tree.Node, phi []float64, stats *Stats) {
+func directPP(bk kernel.BlockKernel, tt *tree.Tree, t *tree.Node, st *tree.Tree, s *tree.Node, phi []float64, stats *Stats) {
 	for i := t.Lo; i < t.Hi; i++ {
-		phi[i] += core.EvalDirectTarget(k, tt.Particles, i, st.Particles, s.Lo, s.Hi)
+		phi[i] += core.EvalDirectTargetBlock(bk, tt.Particles, i, st.Particles, s.Lo, s.Hi)
 	}
 	stats.PPPairs++
 	stats.PPInteractions += int64(t.Count()) * int64(s.Count())

@@ -1,0 +1,105 @@
+#!/bin/sh
+# scripts/bench.sh — run the performance benchmarks tracked by this repo
+# (block-kernel micro-bench, list construction, charge pass, tree build,
+# end-to-end CPU treecode) and record the results.
+#
+# Usage:
+#   scripts/bench.sh               # record current tree -> BENCH_PR3.current.txt
+#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR3.baseline.txt
+#   scripts/bench.sh -count 5      # more repetitions (default 3)
+#
+# Both text files are benchstat-compatible; compare with
+#   benchstat BENCH_PR3.baseline.txt BENCH_PR3.current.txt
+# After every run the JSON summary BENCH_PR3.json is regenerated from
+# whichever text files exist: per-benchmark best-of-count ns/op, B/op and
+# allocs/op for baseline and current, plus speedup ratios where both sides
+# have the benchmark. See docs/performance.md.
+set -e
+
+cd "$(dirname "$0")/.."
+
+COUNT=3
+SECTION=current
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -count)
+        COUNT=$2
+        shift 2
+        ;;
+    -baseline)
+        SECTION=baseline
+        shift
+        ;;
+    *)
+        echo "usage: scripts/bench.sh [-count N] [-baseline]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkTreeBuild100k|BenchmarkTreecodeCPU50k)$'
+
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR3.$SECTION.txt"
+
+# Regenerate the JSON summary from the recorded text files. For each
+# benchmark the best (minimum) ns/op across repetitions is kept, the
+# standard way to suppress scheduling noise; B/op and allocs/op are exact
+# and constant across repetitions.
+awk '
+function emit_section(section, n, i, name, comma) {
+    printf "  \"%s\": ", section
+    if (!have[section]) {
+        printf "null"
+        return
+    }
+    printf "{\n"
+    comma = ""
+    for (i = 0; i < norder; i++) {
+        name = order[i]
+        if (!((section SUBSEP name) in ns)) continue
+        printf "%s    \"%s\": {\"ns_per_op\": %s", comma, name, ns[section, name]
+        if ((section SUBSEP name) in bytes) printf ", \"b_per_op\": %s", bytes[section, name]
+        if ((section SUBSEP name) in allocs) printf ", \"allocs_per_op\": %s", allocs[section, name]
+        printf "}"
+        comma = ",\n"
+    }
+    printf "\n  }"
+}
+FNR == 1 {
+    section = (FILENAME ~ /baseline/) ? "baseline" : "current"
+}
+/^Benchmark/ {
+    have[section] = 1
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!((SUBSEP name) in seen)) {
+        seen[SUBSEP name] = 1
+        order[norder++] = name
+    }
+    for (i = 2; i < NF; i++) {
+        v = $i + 0
+        if ($(i + 1) == "ns/op" && (!((section SUBSEP name) in ns) || v < ns[section, name]))
+            ns[section, name] = v
+        if ($(i + 1) == "B/op") bytes[section, name] = v
+        if ($(i + 1) == "allocs/op") allocs[section, name] = v
+    }
+}
+END {
+    printf "{\n"
+    emit_section("baseline")
+    printf ",\n"
+    emit_section("current")
+    printf ",\n  \"speedup_ns\": {"
+    comma = ""
+    for (i = 0; i < norder; i++) {
+        name = order[i]
+        if ((("baseline" SUBSEP name) in ns) && (("current" SUBSEP name) in ns)) {
+            printf "%s\n    \"%s\": %.2f", comma, name, ns["baseline", name] / ns["current", name]
+            comma = ","
+        }
+    }
+    printf "\n  }\n}\n"
+}
+' $(ls BENCH_PR3.baseline.txt BENCH_PR3.current.txt 2>/dev/null) >BENCH_PR3.json
+
+echo "wrote BENCH_PR3.$SECTION.txt and BENCH_PR3.json"
