@@ -82,7 +82,9 @@ func KernelFunc(name string, f func(tx, ty, tz, sx, sy, sz float64) float64, cpu
 
 // Params are the treecode parameters: the MAC opening parameter theta in
 // (0,1), the interpolation degree n >= 1, the source-tree leaf size NL and
-// the target batch size NB (Section 2.4 of the paper).
+// the target batch size NB (Section 2.4 of the paper). The optional
+// Workers field bounds the host goroutines of the setup phase; setup
+// output is bit-identical for every worker count.
 type Params = core.Params
 
 // DefaultParams returns the paper's scaling-run parameters (theta = 0.8,
@@ -173,6 +175,11 @@ type DeviceConfig struct {
 	// SinglePrecision runs the potential kernels in fp32 (the paper's
 	// mixed-precision future-work extension).
 	SinglePrecision bool
+	// Workers bounds the host goroutines used for functional kernel
+	// execution (<= 0 selects all cores). Setup parallelism is governed by
+	// Params.Workers. Results and modeled times are identical for every
+	// value.
+	Workers int
 	// Trace, when non-nil, records spans and counters for the run (see
 	// Tracer). Tracing never changes modeled times or results.
 	Trace *Tracer
@@ -194,7 +201,7 @@ func SolveDevice(k Kernel, targets, sources *Particles, p Params, cfg DeviceConf
 		}
 		prec = device.FP32
 	}
-	dev := device.New(cfg.GPU.spec(), 0)
+	dev := device.New(cfg.GPU.spec(), cfg.Workers)
 	r := core.RunDevice(pl, k, dev, core.DeviceOptions{
 		Streams:   cfg.Streams,
 		Sync:      cfg.SyncLaunches,
@@ -214,6 +221,11 @@ type DistributedConfig struct {
 	// OverlapComm enables the modeled overlap of LET communication with
 	// the precompute phase (the paper's future-work extension).
 	OverlapComm bool
+	// WorkersPerRank bounds the host goroutines each rank uses for its
+	// setup phase and functional kernel execution; <= 0 divides the
+	// machine evenly across ranks for setup. Results and modeled times
+	// are identical for every value.
+	WorkersPerRank int
 	// Trace, when non-nil, records spans and counters for every rank (see
 	// Tracer). Tracing never changes modeled times or results.
 	Trace *Tracer
@@ -237,11 +249,12 @@ func SolveDistributed(k Kernel, pts *Particles, p Params, cfg DistributedConfig)
 		gpu = perfmodel.TitanV()
 	}
 	out, err := dist.Run(dist.Config{
-		Ranks:       cfg.Ranks,
-		Params:      p,
-		GPU:         gpu,
-		OverlapComm: cfg.OverlapComm,
-		Tracer:      cfg.Trace,
+		Ranks:          cfg.Ranks,
+		Params:         p,
+		GPU:            gpu,
+		OverlapComm:    cfg.OverlapComm,
+		WorkersPerRank: cfg.WorkersPerRank,
+		Tracer:         cfg.Trace,
 	}, k, pts)
 	if err != nil {
 		return nil, err

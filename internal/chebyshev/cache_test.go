@@ -1,0 +1,69 @@
+package chebyshev
+
+import (
+	"math/rand"
+	"testing"
+
+	"barytree/internal/geom"
+)
+
+// TestDegreeCacheBitIdentical pins the arena-layout contract: grids built
+// through a DegreeCache (affine map of the cached unit cos table) must be
+// bit-identical to NewGrid3D + FlattenedPoints for arbitrary boxes,
+// including degenerate (zero-width and inverted) intervals.
+func TestDegreeCacheBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	boxes := []geom.Box{
+		{Lo: geom.Vec3{X: -1, Y: -1, Z: -1}, Hi: geom.Vec3{X: 1, Y: 1, Z: 1}},
+		{Lo: geom.Vec3{X: 0.25, Y: 0.25, Z: 0.25}, Hi: geom.Vec3{X: 0.25, Y: 0.75, Z: 0.25}},
+		{}, // fully degenerate point box
+	}
+	for i := 0; i < 50; i++ {
+		lo := geom.Vec3{X: rng.NormFloat64(), Y: rng.NormFloat64(), Z: rng.NormFloat64()}
+		hi := geom.Vec3{X: lo.X + rng.Float64(), Y: lo.Y + rng.Float64(), Z: lo.Z + rng.Float64()}
+		boxes = append(boxes, geom.Box{Lo: lo, Hi: hi})
+	}
+	for _, n := range []int{1, 2, 3, 8} {
+		c := NewDegreeCache(n)
+		m := n + 1
+		for _, b := range boxes {
+			want := NewGrid3D(n, b)
+			pts := make([]float64, 3*m)
+			got := c.Grid3DInto(b, pts)
+			for d := 0; d < 3; d++ {
+				if got.Dims[d].A != want.Dims[d].A || got.Dims[d].B != want.Dims[d].B {
+					t.Fatalf("n=%d box %v dim %d interval mismatch", n, b, d)
+				}
+				for k := 0; k <= n; k++ {
+					if got.Dims[d].Points[k] != want.Dims[d].Points[k] {
+						t.Fatalf("n=%d box %v dim %d point %d: %g != %g",
+							n, b, d, k, got.Dims[d].Points[k], want.Dims[d].Points[k])
+					}
+					if got.Dims[d].Weights[k] != want.Dims[d].Weights[k] {
+						t.Fatalf("n=%d weight %d mismatch", n, k)
+					}
+				}
+			}
+			wpx, wpy, wpz := want.FlattenedPoints()
+			np := want.NumPoints()
+			gpx := make([]float64, np)
+			gpy := make([]float64, np)
+			gpz := make([]float64, np)
+			got.FlattenedPointsInto(gpx, gpy, gpz)
+			for i := 0; i < np; i++ {
+				if gpx[i] != wpx[i] || gpy[i] != wpy[i] || gpz[i] != wpz[i] {
+					t.Fatalf("n=%d box %v flattened point %d mismatch", n, b, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDegreeCachePanicsOnBadDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDegreeCache(0) did not panic")
+		}
+	}()
+	NewDegreeCache(0)
+}

@@ -147,6 +147,67 @@ func (g Grid1D) Interpolate(f []float64, x float64) float64 {
 	return num / den
 }
 
+// DegreeCache holds the degree-dependent, interval-independent pieces of a
+// Chebyshev grid: the unit reference points cos(pi*k/n) on [-1,1] and the
+// barycentric weights. A grid on any interval is an affine image of the
+// unit points, so one cache serves every cluster box of a tree and the
+// per-node math.Cos calls disappear. The cached slices are shared
+// (read-only) by every grid built from the cache.
+type DegreeCache struct {
+	N       int
+	Unit    []float64 // cos(pi*k/n), k = 0..n, descending from 1 to -1
+	Weights []float64 // barycentric weights, shared by every interval
+}
+
+// NewDegreeCache builds the cache for degree n. Like NewGrid1D it panics
+// for n < 1.
+func NewDegreeCache(n int) *DegreeCache {
+	if n < 1 {
+		panic(fmt.Sprintf("chebyshev: degree must be >= 1, got %d", n))
+	}
+	u := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		u[k] = math.Cos(math.Pi * float64(k) / float64(n))
+	}
+	return &DegreeCache{N: n, Unit: u, Weights: Weights(n)}
+}
+
+// Grid1DInto builds the degree-n grid on [a, b] with points stored in pts
+// (which must have length n+1) and the cache's shared weights. The points
+// are the same affine map pts[k] = mid + half*unit[k] evaluated by Points,
+// endpoints pinned, so the result is bit-identical to NewGrid1D.
+func (c *DegreeCache) Grid1DInto(a, b float64, pts []float64) Grid1D {
+	if b < a {
+		a, b = b, a
+	}
+	mid := (a + b) / 2
+	half := (b - a) / 2
+	for k, u := range c.Unit {
+		pts[k] = mid + half*u
+	}
+	pts[0] = b
+	pts[c.N] = a
+	return Grid1D{A: a, B: b, Points: pts, Weights: c.Weights}
+}
+
+// Grid3DInto builds the degree-n tensor grid over box b with the 1D point
+// slices carved out of pts, which must have length 3*(n+1). The result is
+// bit-identical to NewGrid3D(n, b) apart from slice identity.
+func (c *DegreeCache) Grid3DInto(b geom.Box, pts []float64) Grid3D {
+	m := c.N + 1
+	if len(pts) != 3*m {
+		panic(fmt.Sprintf("chebyshev: Grid3DInto pts length %d, want %d", len(pts), 3*m))
+	}
+	return Grid3D{
+		N: c.N,
+		Dims: [3]Grid1D{
+			c.Grid1DInto(b.Lo.X, b.Hi.X, pts[0:m:m]),
+			c.Grid1DInto(b.Lo.Y, b.Hi.Y, pts[m:2*m:2*m]),
+			c.Grid1DInto(b.Lo.Z, b.Hi.Z, pts[2*m:3*m:3*m]),
+		},
+	}
+}
+
 // Grid3D is the tensor product of three 1D Chebyshev grids over a box; it is
 // the set of (n+1)^3 interpolation points s_k = (s_k1, s_k2, s_k3) that a
 // source cluster carries (equation (8) of the paper).
@@ -201,6 +262,13 @@ func (g Grid3D) FlattenedPoints() (px, py, pz []float64) {
 	px = make([]float64, np)
 	py = make([]float64, np)
 	pz = make([]float64, np)
+	g.FlattenedPointsInto(px, py, pz)
+	return px, py, pz
+}
+
+// FlattenedPointsInto fills px, py, pz (each of length NumPoints) with the
+// tensor-product node coordinates in FlatIndex order.
+func (g Grid3D) FlattenedPointsInto(px, py, pz []float64) {
 	m := g.N + 1
 	idx := 0
 	for k1 := 0; k1 < m; k1++ {
@@ -215,7 +283,6 @@ func (g Grid3D) FlattenedPoints() (px, py, pz []float64) {
 			}
 		}
 	}
-	return px, py, pz
 }
 
 // BasisAt evaluates the three 1D basis vectors at the coordinates of p. The

@@ -18,16 +18,37 @@ type ClusterData struct {
 	Degree int
 	Grids  []chebyshev.Grid3D
 	// PX/PY/PZ[i] are the flattened coordinates of node i's (n+1)^3
-	// interpolation points in chebyshev.Grid3D flat-index order.
+	// interpolation points in chebyshev.Grid3D flat-index order. Every
+	// per-node slice is a view into one flat arena (ptArena), so the whole
+	// layout costs a handful of allocations rather than ~4 per node.
 	PX, PY, PZ [][]float64
 	// Qhat[i] are node i's modified charges, nil before a charge pass.
+	// When filled by the host or device charge pass, Qhat[i] aliases node
+	// i's slot of a flat arena (qhatArena), so repeated passes after
+	// Solver.UpdateCharges-style invalidation allocate nothing.
 	Qhat [][]float64
+
+	cache     *chebyshev.DegreeCache // degree-dependent cos/weights tables
+	gridArena []float64              // 1D grid points, 3*(degree+1) per node
+	ptArena   []float64              // flattened coords, 3*(n+1)^3 per node
+	qhatArena []float64              // modified-charge slots, (n+1)^3 per node
 }
 
-// NewClusterData lays out degree-n interpolation grids for every node of t.
-// Modified charges are left nil; call ComputeCharges (or run a driver) to
-// fill them.
+// NewClusterData lays out degree-n interpolation grids for every node of t
+// using all available cores; it is NewClusterDataWorkers with the default
+// worker count. Modified charges are left nil; call ComputeCharges (or run
+// a driver) to fill them.
 func NewClusterData(t *tree.Tree, degree int) *ClusterData {
+	return NewClusterDataWorkers(t, degree, 0)
+}
+
+// NewClusterDataWorkers is NewClusterData with an explicit worker bound
+// (workers <= 0 selects GOMAXPROCS). Grids for independent nodes are filled
+// in parallel; the coordinate values are bit-identical to the serial
+// chebyshev.NewGrid3D + FlattenedPoints layout for every worker count —
+// each grid is an affine map of one cached cos(pi*k/n) table, the same
+// expression NewGrid1D evaluates per node.
+func NewClusterDataWorkers(t *tree.Tree, degree, workers int) *ClusterData {
 	n := len(t.Nodes)
 	cd := &ClusterData{
 		Degree: degree,
@@ -37,12 +58,36 @@ func NewClusterData(t *tree.Tree, degree int) *ClusterData {
 		PZ:     make([][]float64, n),
 		Qhat:   make([][]float64, n),
 	}
-	for i := range t.Nodes {
-		g := chebyshev.NewGrid3D(degree, t.Nodes[i].Box)
-		cd.Grids[i] = g
-		cd.PX[i], cd.PY[i], cd.PZ[i] = g.FlattenedPoints()
+	if n == 0 {
+		return cd
 	}
+	// Degree validity is checked by NewDegreeCache exactly as the per-node
+	// NewGrid1D used to (only reachable with nodes present, as before).
+	cd.cache = chebyshev.NewDegreeCache(degree)
+	m := degree + 1
+	np := m * m * m
+	cd.gridArena = make([]float64, n*3*m)
+	cd.ptArena = make([]float64, n*3*np)
+	cd.qhatArena = make([]float64, n*np)
+	pool.For(n, workers, func(i int) {
+		g := cd.cache.Grid3DInto(t.Nodes[i].Box, cd.gridArena[i*3*m:(i+1)*3*m])
+		cd.Grids[i] = g
+		base := i * 3 * np
+		px := cd.ptArena[base : base+np : base+np]
+		py := cd.ptArena[base+np : base+2*np : base+2*np]
+		pz := cd.ptArena[base+2*np : base+3*np : base+3*np]
+		g.FlattenedPointsInto(px, py, pz)
+		cd.PX[i], cd.PY[i], cd.PZ[i] = px, py, pz
+	})
 	return cd
+}
+
+// qhatSlot returns node ni's slot of the modified-charge arena, the buffer
+// a charge pass fills and publishes as Qhat[ni].
+func (cd *ClusterData) qhatSlot(ni int) []float64 {
+	m := cd.Degree + 1
+	np := m * m * m
+	return cd.qhatArena[ni*np : (ni+1)*np : (ni+1)*np]
 }
 
 // chargeWork returns the modeled flop-equivalents of the two preprocessing
@@ -160,8 +205,8 @@ func (cd *ClusterData) pass2Point(s *chargeScratch, block int, qhat []float64) {
 }
 
 // computeChargesNode fills Qhat[ni] on the host (both passes, serial),
-// using the caller's scratch buffers. Only the stored q-hat array is
-// allocated.
+// using the caller's scratch buffers and the node's arena slot — the pass
+// itself allocates nothing.
 func (cd *ClusterData) computeChargesNode(src *particle.Set, nd *tree.Node, ni int, s *chargeScratch) {
 	nc := nd.Count()
 	s.Reserve(nc, cd.Degree+1)
@@ -169,7 +214,7 @@ func (cd *ClusterData) computeChargesNode(src *particle.Set, nd *tree.Node, ni i
 		cd.pass1Particle(src, nd, ni, j, s)
 	}
 	np := cd.Grids[ni].NumPoints()
-	qhat := make([]float64, np)
+	qhat := cd.qhatSlot(ni)
 	for b := 0; b < np; b++ {
 		cd.pass2Point(s, b, qhat)
 	}
@@ -178,9 +223,10 @@ func (cd *ClusterData) computeChargesNode(src *particle.Set, nd *tree.Node, ni i
 
 // ComputeCharges fills the modified charges of every cluster on the host
 // using up to `workers` goroutines (workers <= 0 selects a sensible
-// default). Each worker reuses one flat scratch buffer across its clusters,
-// so the pass allocates only the stored q-hat arrays. It returns the total
-// modeled flop-equivalents of the work.
+// default). Each worker reuses one flat scratch buffer across its clusters
+// and writes into the modified-charge arena, so a steady-state pass
+// allocates nothing. It returns the total modeled flop-equivalents of the
+// work.
 func (cd *ClusterData) ComputeCharges(t *tree.Tree, workers int) float64 {
 	flops := cd.TotalChargeWork(t)
 	pool.Blocks(len(t.Nodes), workers, func(_, lo, hi int) {

@@ -185,7 +185,7 @@ func LaunchChargeKernels(cd *ClusterData, t *tree.Tree, dev *device.Device,
 		var qhat []float64
 		if !modelOnly {
 			scratch.Reserve(nc, m)
-			qhat = make([]float64, cd.Grids[ni].NumPoints())
+			qhat = cd.qhatSlot(ni)
 			ni := ni
 			nd := nd
 			fn1 = func(block int) {

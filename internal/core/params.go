@@ -21,6 +21,13 @@ type Params struct {
 	Degree    int     // interpolation degree n >= 1
 	LeafSize  int     // NL, maximum particles per source leaf
 	BatchSize int     // NB, maximum targets per batch
+
+	// Workers bounds the host goroutines used by the setup phase (tree and
+	// batch construction, interaction lists, cluster-grid layout) and the
+	// host charge pass; <= 0 selects GOMAXPROCS. It is a host execution
+	// knob only: results, modeled times and trace output are bit-identical
+	// for every value.
+	Workers int
 }
 
 // DefaultParams returns the parameters of the paper's scaling runs:
@@ -76,15 +83,15 @@ func NewPlan(targets, sources *particle.Set, p Params) (*Plan, error) {
 	if err := targets.Validate(); err != nil {
 		return nil, fmt.Errorf("core: bad targets: %w", err)
 	}
-	t := tree.Build(sources, p.LeafSize)
-	b := tree.BuildBatches(targets, p.BatchSize)
-	lists := interaction.BuildLists(b, t, p.MAC())
+	t := tree.BuildWorkers(sources, p.LeafSize, p.Workers)
+	b := tree.BuildBatchesWorkers(targets, p.BatchSize, p.Workers)
+	lists := interaction.BuildListsWorkers(b, t, p.MAC(), p.Workers)
 	return &Plan{
 		Params:   p,
 		Sources:  t,
 		Batches:  b,
 		Lists:    lists,
-		Clusters: NewClusterData(t, p.Degree),
+		Clusters: NewClusterDataWorkers(t, p.Degree, p.Workers),
 	}, nil
 }
 

@@ -18,6 +18,7 @@ package dist
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"barytree/internal/core"
@@ -47,7 +48,10 @@ type Config struct {
 	// Net is the interconnect model (zero value: Comet InfiniBand).
 	Net perfmodel.NetworkSpec
 	// WorkersPerRank bounds the host goroutines each rank uses for
-	// functional execution; 0 divides GOMAXPROCS evenly.
+	// functional execution and for its setup phase (tree/batch/cluster
+	// construction, LET traversal, interaction lists); 0 divides
+	// GOMAXPROCS evenly across ranks for setup and selects GOMAXPROCS for
+	// device execution. Setup output is bit-identical for every value.
 	WorkersPerRank int
 	// Streams overrides the per-device stream count (0: device default).
 	Streams int
@@ -155,15 +159,24 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 		dev.Rank = r.ID()
 		hc := &r.Clock
 		mac := cfg.Params.MAC()
+		// Host goroutines for this rank's setup phase. Rank goroutines run
+		// concurrently, so the default splits the machine across ranks
+		// instead of oversubscribing it Ranks-fold. Setup output is
+		// bit-identical for every worker count, so this only affects wall
+		// time.
+		setupW := cfg.WorkersPerRank
+		if setupW <= 0 {
+			setupW = max(1, runtime.GOMAXPROCS(0)/cfg.Ranks)
+		}
 
 		// --- Setup (part 1): RCB + local tree and batches. ---
 		hc.Advance(float64(local.Len()) * rcbLevels / cfg.CPU.TreeOpRate)
 		rcbEnd := hc.Now()
 		tr.Span("rcb", trace.CatBuild, r.ID(), trace.TrackHost, 0, rcbEnd,
 			trace.A("particles", local.Len()), trace.A("levels", int(rcbLevels)))
-		t := tree.Build(local, cfg.Params.LeafSize)
-		batches := tree.BuildBatches(local, cfg.Params.BatchSize)
-		cd := core.NewClusterData(t, cfg.Params.Degree)
+		t := tree.BuildWorkers(local, cfg.Params.LeafSize, setupW)
+		batches := tree.BuildBatchesWorkers(local, cfg.Params.BatchSize, setupW)
+		cd := core.NewClusterDataWorkers(t, cfg.Params.Degree, setupW)
 		treeOps := float64(t.Stats.ParticleScans + t.Stats.ParticleMoves +
 			batches.Stats.ParticleScans + batches.Stats.ParticleMoves)
 		hc.Advance(treeOps / cfg.CPU.TreeOpRate)
@@ -202,7 +215,7 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 
 		commStart := hc.Now()
 		getsBefore := r.Stats.GetBytes
-		l, err := let.Build(r, wins, batches, mac)
+		l, err := let.Build(r, wins, batches, mac, setupW)
 		if err != nil {
 			return err
 		}

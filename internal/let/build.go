@@ -8,6 +8,7 @@ import (
 	"barytree/internal/interaction"
 	"barytree/internal/mpisim"
 	"barytree/internal/particle"
+	"barytree/internal/pool"
 	"barytree/internal/trace"
 	"barytree/internal/tree"
 )
@@ -97,12 +98,56 @@ type LET struct {
 	Stats interaction.Stats
 }
 
+// remoteTraversal is one batch's MAC traversal of one remote tree: the
+// remote nodes it approximates and interacts directly with, in traversal
+// encounter order, plus the traversal's share of the Stats counters.
+type remoteTraversal struct {
+	approx, direct []int32
+	stats          interaction.Stats
+}
+
+// traverseRemote runs the MAC traversal of batch b against a remote tree
+// view. It reuses (and returns, possibly grown) the caller's stack.
+func traverseRemote(b *tree.Batch, view *TreeView, mac interaction.MAC, np int, stack []int32, res *remoteTraversal) []int32 {
+	nb := int64(b.Count())
+	stack = append(stack[:0], 0)
+	for len(stack) > 0 {
+		ci := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.stats.MACTests++
+		dx := b.Center.X - view.CX[ci]
+		dy := b.Center.Y - view.CY[ci]
+		dz := b.Center.Z - view.CZ[ci]
+		dist := geom.Vec3{X: dx, Y: dy, Z: dz}.Norm()
+		switch mac.Test(dist, b.Radius, view.R[ci], int(view.Count[ci]), view.IsLeaf(ci)) {
+		case interaction.Approximate:
+			res.approx = append(res.approx, ci)
+			res.stats.ApproxPairs++
+			res.stats.ApproxInteractions += nb * int64(np)
+		case interaction.Direct:
+			res.direct = append(res.direct, ci)
+			res.stats.DirectPairs++
+			res.stats.DirectInteractions += nb * int64(view.Count[ci])
+		case interaction.Recurse:
+			stack = append(stack, view.ChildrenOf(ci)...)
+		}
+	}
+	return stack
+}
+
 // Build constructs this rank's LET: for every remote rank it gets the tree
 // arrays, traverses them against the local target batches with the MAC, and
 // gets exactly the cluster charges and source particles the resulting
 // interaction lists require. All communication is one-sided; no remote rank
 // participates.
-func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interaction.MAC) (*LET, error) {
+//
+// The per-batch traversals run on up to `workers` goroutines (<= 0 selects
+// GOMAXPROCS); batches are independent, and the traversal results are
+// merged serially in batch order afterwards, so the LET — including the
+// first-encounter ordering of fetched clusters/leaves, the RMA Get
+// sequence, the Stats counters and therefore all modeled times and traces —
+// is identical to the serial construction for every worker count.
+func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interaction.MAC, workers int) (*LET, error) {
 	l := &LET{
 		Degree: wins.Degree,
 		Approx: make([][]int32, len(batches.Batches)),
@@ -110,6 +155,7 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 	}
 	np := mac.InterpPoints()
 	buildStart := r.Clock.Now()
+	results := make([]remoteTraversal, len(batches.Batches))
 	for remote := 0; remote < r.Size(); remote++ {
 		if remote == r.ID() {
 			continue
@@ -126,47 +172,45 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 			continue
 		}
 
+		pool.Blocks(len(batches.Batches), workers, func(_, lo, hi int) {
+			var stack []int32
+			for bi := lo; bi < hi; bi++ {
+				res := &results[bi]
+				res.approx = res.approx[:0]
+				res.direct = res.direct[:0]
+				res.stats = interaction.Stats{}
+				stack = traverseRemote(&batches.Batches[bi], view, mac, np, stack, res)
+			}
+		})
+
 		approxIdx := map[int32]int32{} // remote node -> LET cluster index
 		directIdx := map[int32]int32{} // remote node -> LET leaf index
 		var approxNodes, directNodes []int32
-
-		for bi := range batches.Batches {
-			b := &batches.Batches[bi]
-			nb := int64(b.Count())
-			stack := []int32{0}
-			for len(stack) > 0 {
-				ci := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				l.Stats.MACTests++
-				dx := b.Center.X - view.CX[ci]
-				dy := b.Center.Y - view.CY[ci]
-				dz := b.Center.Z - view.CZ[ci]
-				dist := geom.Vec3{X: dx, Y: dy, Z: dz}.Norm()
-				switch mac.Test(dist, b.Radius, view.R[ci], int(view.Count[ci]), view.IsLeaf(ci)) {
-				case interaction.Approximate:
-					li, ok := approxIdx[ci]
-					if !ok {
-						li = int32(len(l.ClusterPX) + len(approxNodes))
-						approxIdx[ci] = li
-						approxNodes = append(approxNodes, ci)
-					}
-					l.Approx[bi] = append(l.Approx[bi], li)
-					l.Stats.ApproxPairs++
-					l.Stats.ApproxInteractions += nb * int64(np)
-				case interaction.Direct:
-					li, ok := directIdx[ci]
-					if !ok {
-						li = int32(len(l.Leaves) + len(directNodes))
-						directIdx[ci] = li
-						directNodes = append(directNodes, ci)
-					}
-					l.Direct[bi] = append(l.Direct[bi], li)
-					l.Stats.DirectPairs++
-					l.Stats.DirectInteractions += nb * int64(view.Count[ci])
-				case interaction.Recurse:
-					stack = append(stack, view.ChildrenOf(ci)...)
+		for bi := range results {
+			res := &results[bi]
+			for _, ci := range res.approx {
+				li, ok := approxIdx[ci]
+				if !ok {
+					li = int32(len(l.ClusterPX) + len(approxNodes))
+					approxIdx[ci] = li
+					approxNodes = append(approxNodes, ci)
 				}
+				l.Approx[bi] = append(l.Approx[bi], li)
 			}
+			for _, ci := range res.direct {
+				li, ok := directIdx[ci]
+				if !ok {
+					li = int32(len(l.Leaves) + len(directNodes))
+					directIdx[ci] = li
+					directNodes = append(directNodes, ci)
+				}
+				l.Direct[bi] = append(l.Direct[bi], li)
+			}
+			l.Stats.MACTests += res.stats.MACTests
+			l.Stats.ApproxPairs += res.stats.ApproxPairs
+			l.Stats.DirectPairs += res.stats.DirectPairs
+			l.Stats.ApproxInteractions += res.stats.ApproxInteractions
+			l.Stats.DirectInteractions += res.stats.DirectInteractions
 		}
 
 		// Step 2: get the cluster charges and particles the lists demand.

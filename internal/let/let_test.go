@@ -2,6 +2,9 @@ package let
 
 import (
 	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
 	"testing"
 
 	"barytree/internal/geom"
@@ -100,6 +103,11 @@ func TestFlattenCharges(t *testing.T) {
 	}
 }
 
+// buildWorkers is the worker count buildLETFixture passes to Build; the
+// determinism test overrides it to pin worker-count independence, every
+// other test runs with the default.
+var buildWorkers = 0
+
 // buildLETFixture partitions particles over `ranks` ranks, builds local
 // trees, exposes windows with synthetic charges, and builds each rank's
 // LET, calling check on each rank's pieces.
@@ -128,7 +136,7 @@ func buildLETFixture(t *testing.T, n, ranks int, mac interaction.MAC,
 		wins := Expose(r, tr, flat, mac.Degree)
 		r.Barrier()
 		batches := tree.BuildBatches(locals[r.ID()], 60)
-		l, err := Build(r, wins, batches, mac)
+		l, err := Build(r, wins, batches, mac, buildWorkers)
 		if err != nil {
 			return err
 		}
@@ -301,5 +309,35 @@ func TestGeomBoxRoundTripThroughWindow(t *testing.T) {
 	want := geom.BoundingBox(s.X, s.Y, s.Z)
 	if v.Boxes[0] != want {
 		t.Fatalf("box %v, want %v", v.Boxes[0], want)
+	}
+}
+
+// TestLETBuildWorkersDeterministic pins the bit-identity contract of the
+// parallel LET traversal: the full LET — fetched clusters/leaves, their
+// first-encounter ordering, per-batch lists and Stats — must deep-equal the
+// serial construction for every worker count.
+func TestLETBuildWorkersDeterministic(t *testing.T) {
+	mac := interaction.MAC{Theta: 0.7, Degree: 2}
+	collect := func(workers int) map[int]*LET {
+		old := buildWorkers
+		buildWorkers = workers
+		defer func() { buildWorkers = old }()
+		lets := make(map[int]*LET)
+		var mu sync.Mutex
+		buildLETFixture(t, 4000, 3, mac, func(r *mpisim.Rank, l *LET, locals []*particle.Set, trees []*tree.Tree) {
+			mu.Lock()
+			lets[r.ID()] = l
+			mu.Unlock()
+		})
+		return lets
+	}
+	want := collect(1)
+	for _, w := range []int{2, 3, 4, 7, runtime.GOMAXPROCS(0)} {
+		got := collect(w)
+		for rank, l := range want {
+			if !reflect.DeepEqual(l, got[rank]) {
+				t.Fatalf("workers=%d: rank %d LET differs from serial", w, rank)
+			}
+		}
 	}
 }

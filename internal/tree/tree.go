@@ -16,14 +16,26 @@
 // the target particles with bound BatchSize; when targets and sources are
 // the same particles and BatchSize == LeafSize the batches coincide with the
 // source-tree leaves, as in all of the paper's experiments.
+//
+// Construction is parallel (BuildWorkers / BuildBatchesWorkers) and
+// bit-identical to the serial build for every worker count: the top of the
+// tree is partitioned with chunk-parallel box scans and a parallel Hoare
+// partition that reproduces the serial swap set exactly, independent
+// subtrees over disjoint particle ranges are built concurrently, and the
+// finished subtrees are spliced back into the exact serial construction
+// order. See docs/performance.md ("The setup phase") for the design and
+// the bit-identity argument.
 package tree
 
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"barytree/internal/geom"
 	"barytree/internal/particle"
+	"barytree/internal/pool"
 	"barytree/internal/trace"
 )
 
@@ -31,6 +43,23 @@ import (
 // bisected when doing so cannot leave children with aspect ratio beyond this
 // bound relative to the longest side.
 var MaxAspectRatio = math.Sqrt2
+
+// Parallel-construction thresholds. Variables (not constants) so the
+// package tests can lower them and exercise every parallel code path on
+// small inputs; real builds only fan out where the ranges are large enough
+// to amortize goroutine handoff.
+var (
+	// parScanMin is the smallest particle range whose box-shrink scans and
+	// Hoare partitions run chunk-parallel (top-of-tree nodes only).
+	parScanMin = 1 << 15
+	// parSwapMin is the smallest number of out-of-place pairs worth
+	// swapping on the worker pool rather than inline.
+	parSwapMin = 1 << 12
+	// tasksPerWorker controls subtree-task granularity: child ranges at or
+	// below n/(tasksPerWorker*workers) particles become independent
+	// subtree tasks, so each worker gets several tasks to balance load.
+	tasksPerWorker = 4
+)
 
 // Node is one cluster in the source tree (or one internal node of the batch
 // partition). Particle indices refer to the tree-ordered particle set and
@@ -52,7 +81,9 @@ func (nd *Node) Count() int { return nd.Hi - nd.Lo }
 func (nd *Node) IsLeaf() bool { return len(nd.Children) == 0 }
 
 // BuildStats counts the work done during tree construction; the performance
-// model converts these into modeled setup-phase time.
+// model converts these into modeled setup-phase time. The counters describe
+// the partitioning algorithm, not its host execution, so they are identical
+// for every worker count.
 type BuildStats struct {
 	Nodes         int // nodes created
 	Leaves        int // leaf nodes
@@ -74,6 +105,19 @@ func (s BuildStats) TraceSpan(tr *trace.Tracer, name string, rank int, start, en
 		trace.A("particle_moves", s.ParticleMoves))
 }
 
+// add accumulates o into s. All fields are sums (or a max) of per-node
+// counts, so accumulation in any grouping reproduces the serial totals
+// exactly.
+func (s *BuildStats) add(o BuildStats) {
+	s.Nodes += o.Nodes
+	s.Leaves += o.Leaves
+	s.ParticleMoves += o.ParticleMoves
+	s.ParticleScans += o.ParticleScans
+	if o.MaxDepth > s.MaxDepth {
+		s.MaxDepth = o.MaxDepth
+	}
+}
+
 // Tree is the cluster hierarchy over a (re-ordered) particle set.
 type Tree struct {
 	Nodes     []Node
@@ -86,43 +130,118 @@ type Tree struct {
 // Root returns the index of the root node (always 0 for a non-empty tree).
 func (t *Tree) Root() int { return 0 }
 
-// Leaves returns the indices of all leaf nodes in construction order.
+// Leaves returns the indices of all leaf nodes in construction order. The
+// result is sized exactly from Stats.Leaves up front; the fill loop is
+// allocation-free (LeavesInto).
 func (t *Tree) Leaves() []int32 {
-	var out []int32
-	for i := range t.Nodes {
-		if t.Nodes[i].IsLeaf() {
-			out = append(out, int32(i))
-		}
-	}
-	return out
+	return t.LeavesInto(make([]int32, t.Stats.Leaves))
 }
 
-// Build constructs the cluster tree over src with the given leaf size. The
-// input set is not modified; the tree holds a reordered copy plus the
-// permutation back to input order. Build panics if leafSize < 1 and returns
-// an empty tree for an empty input.
+// LeavesInto fills dst (which must have length Stats.Leaves) with the leaf
+// node indices in construction order and returns it.
+//
+//hot:path
+func (t *Tree) LeavesInto(dst []int32) []int32 {
+	k := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].IsLeaf() {
+			dst[k] = int32(i)
+			k++
+		}
+	}
+	return dst
+}
+
+// Build constructs the cluster tree over src with the given leaf size using
+// all available cores; it is BuildWorkers with the default worker count.
+// The input set is not modified; the tree holds a reordered copy plus the
+// permutation back to input order. Build panics if leafSize < 1 or src is
+// nil and returns an empty tree for an empty input.
 func Build(src *particle.Set, leafSize int) *Tree {
+	return BuildWorkers(src, leafSize, 0)
+}
+
+// BuildWorkers is Build with an explicit worker bound (workers <= 0 selects
+// GOMAXPROCS, 1 is the serial build). The output — Nodes, Perm, the
+// reordered Particles and Stats — is bit-identical for every worker count;
+// workers only bounds the host goroutines used for construction.
+//
+// The argument checks run before any path is chosen, so the parallel path
+// can never be entered with a nil particle set or an invalid leaf size:
+// both paths fail with the same panic, and the empty-input and single-node
+// cases never spawn a goroutine.
+func BuildWorkers(src *particle.Set, leafSize, workers int) *Tree {
 	if leafSize < 1 {
 		panic(fmt.Sprintf("tree: leaf size must be >= 1, got %d", leafSize))
+	}
+	if src == nil {
+		panic("tree: nil particle set")
 	}
 	t := &Tree{
 		Particles: src.Clone(),
 		Perm:      particle.Identity(src.Len()),
 		LeafSize:  leafSize,
 	}
-	if src.Len() == 0 {
+	n := src.Len()
+	if n == 0 {
 		return t
 	}
-	t.build(-1, 0, src.Len(), 0)
+	b := &builder{
+		p:        t.Particles,
+		perm:     t.Perm,
+		leafSize: leafSize,
+		workers:  pool.Workers(n, workers),
+	}
+	// Serial fast path: one worker, or a tree that is a single leaf.
+	if b.workers == 1 || n <= leafSize {
+		b.workers = 1
+		b.nodes = make([]Node, 0, nodeCapHint(n, leafSize))
+		b.build(-1, 0, n, 0)
+	} else {
+		b.buildParallel(n)
+	}
+	t.Nodes = b.nodes
+	t.Stats = b.stats
 	return t
 }
 
+// nodeCapHint estimates the node count for preallocation: leaves hold at
+// least leafSize/2^3 particles on typical distributions, and internal nodes
+// are bounded by the leaf count. An undershoot only costs slice growth.
+func nodeCapHint(n, leafSize int) int {
+	return 4*(n/leafSize) + 8
+}
+
+// builder holds the mutable state of one construction. The particle set and
+// permutation are shared by every subtree task (tasks own disjoint index
+// ranges); nodes and stats are private to the builder.
+type builder struct {
+	p        *particle.Set
+	perm     particle.Permutation
+	leafSize int
+	workers  int // host goroutine bound; 1 disables every parallel path
+
+	nodes []Node
+	stats BuildStats
+
+	// Top-of-tree parallel construction state.
+	skel  []skelNode
+	tasks []subtreeTask
+
+	// Scratch for the chunk-parallel scans, reused across nodes.
+	chunkBoxes []geom.Box
+	chunkCnt   []int
+	posL, posR []int
+}
+
 // build creates the node covering particle range [lo, hi) and recursively
-// partitions it. It returns the index of the created node.
-func (t *Tree) build(parent int32, lo, hi, level int) int32 {
-	idx := int32(len(t.Nodes))
-	box := t.shrinkBox(lo, hi)
-	t.Nodes = append(t.Nodes, Node{
+// partitions it, serially. It returns the index of the created node. This
+// is the reference construction order: the parallel path reproduces its
+// output exactly.
+func (b *builder) build(parent int32, lo, hi, level int) int32 {
+	idx := int32(len(b.nodes))
+	box := b.shrinkBox(lo, hi)
+	b.nodes = append(b.nodes, Node{
 		Box:    box,
 		Center: box.Center(),
 		Radius: box.Radius(),
@@ -131,35 +250,109 @@ func (t *Tree) build(parent int32, lo, hi, level int) int32 {
 		Parent: parent,
 		Level:  level,
 	})
-	t.Stats.Nodes++
-	if level > t.Stats.MaxDepth {
-		t.Stats.MaxDepth = level
+	b.stats.Nodes++
+	if level > b.stats.MaxDepth {
+		b.stats.MaxDepth = level
 	}
-	if hi-lo <= t.LeafSize {
-		t.Stats.Leaves++
+	if hi-lo <= b.leafSize {
+		b.stats.Leaves++
 		return idx
 	}
 
 	dims := splitDims(box)
-	ranges := t.partition(lo, hi, box, dims)
-	if len(ranges) <= 1 {
+	var ranges [8][2]int
+	nr := b.partition(lo, hi, box, dims, &ranges)
+	if nr <= 1 {
 		// All particles landed in one cell (coincident points): stop.
-		t.Stats.Leaves++
+		b.stats.Leaves++
 		return idx
 	}
-	children := make([]int32, 0, len(ranges))
-	for _, r := range ranges {
-		children = append(children, t.build(idx, r[0], r[1], level+1))
+	children := make([]int32, 0, nr)
+	for _, r := range ranges[:nr] {
+		children = append(children, b.build(idx, r[0], r[1], level+1))
 	}
-	t.Nodes[idx].Children = children
+	b.nodes[idx].Children = children
 	return idx
 }
 
-// shrinkBox computes the minimal bounding box of particles [lo, hi).
-func (t *Tree) shrinkBox(lo, hi int) geom.Box {
-	t.Stats.ParticleScans += hi - lo
-	p := t.Particles
-	return geom.BoundingBox(p.X[lo:hi], p.Y[lo:hi], p.Z[lo:hi])
+// shrinkBox computes the minimal bounding box of particles [lo, hi). Large
+// ranges scan chunk-parallel; the chunk results are combined left to right
+// with the same first-wins comparisons as the serial scan, so the box bits
+// do not depend on the worker count or chunking.
+func (b *builder) shrinkBox(lo, hi int) geom.Box {
+	b.stats.ParticleScans += hi - lo
+	if b.workers > 1 && hi-lo >= parScanMin {
+		return b.shrinkBoxPar(lo, hi)
+	}
+	return boundsRange(b.p, lo, hi)
+}
+
+// boundsRange is the serial minimal-bounding-box scan over [lo, hi), which
+// must be non-empty. Plain comparisons keep the first-encountered value on
+// ties (only observable for inputs mixing -0 and +0), a rule preserved by
+// the left-to-right chunk combination in shrinkBoxPar.
+func boundsRange(p *particle.Set, lo, hi int) geom.Box {
+	xs, ys, zs := p.X[lo:hi], p.Y[lo:hi], p.Z[lo:hi]
+	box := geom.Box{
+		Lo: geom.Vec3{X: xs[0], Y: ys[0], Z: zs[0]},
+		Hi: geom.Vec3{X: xs[0], Y: ys[0], Z: zs[0]},
+	}
+	for i := 1; i < len(xs); i++ {
+		x, y, z := xs[i], ys[i], zs[i]
+		if x < box.Lo.X {
+			box.Lo.X = x
+		}
+		if x > box.Hi.X {
+			box.Hi.X = x
+		}
+		if y < box.Lo.Y {
+			box.Lo.Y = y
+		}
+		if y > box.Hi.Y {
+			box.Hi.Y = y
+		}
+		if z < box.Lo.Z {
+			box.Lo.Z = z
+		}
+		if z > box.Hi.Z {
+			box.Hi.Z = z
+		}
+	}
+	return box
+}
+
+func (b *builder) shrinkBoxPar(lo, hi int) geom.Box {
+	n := hi - lo
+	w := pool.Workers(n, b.workers)
+	if cap(b.chunkBoxes) < w {
+		b.chunkBoxes = make([]geom.Box, w)
+	}
+	boxes := b.chunkBoxes[:w]
+	pool.Blocks(n, b.workers, func(wi, clo, chi int) {
+		boxes[wi] = boundsRange(b.p, lo+clo, lo+chi)
+	})
+	box := boxes[0]
+	for _, c := range boxes[1:] {
+		if c.Lo.X < box.Lo.X {
+			box.Lo.X = c.Lo.X
+		}
+		if c.Hi.X > box.Hi.X {
+			box.Hi.X = c.Hi.X
+		}
+		if c.Lo.Y < box.Lo.Y {
+			box.Lo.Y = c.Lo.Y
+		}
+		if c.Hi.Y > box.Hi.Y {
+			box.Hi.Y = c.Hi.Y
+		}
+		if c.Lo.Z < box.Lo.Z {
+			box.Lo.Z = c.Lo.Z
+		}
+		if c.Hi.Z > box.Hi.Z {
+			box.Hi.Z = c.Hi.Z
+		}
+	}
+	return box
 }
 
 // splitDims selects the dimensions to bisect: every dimension whose side
@@ -184,38 +377,59 @@ func splitDims(box geom.Box) []int {
 
 // partition splits the particle range [lo, hi) at the box midpoints of the
 // chosen dimensions, producing up to 2^len(dims) contiguous sub-ranges. It
-// returns the non-empty ranges in cell order.
-func (t *Tree) partition(lo, hi int, box geom.Box, dims []int) [][2]int {
-	ranges := [][2]int{{lo, hi}}
+// fills out with the non-empty ranges in cell order and returns their
+// count.
+func (b *builder) partition(lo, hi int, box geom.Box, dims []int, out *[8][2]int) int {
+	out[0] = [2]int{lo, hi}
+	n := 1
+	var tmp [8][2]int
 	for _, d := range dims {
 		mid := (box.Lo.Component(d) + box.Hi.Component(d)) / 2
-		next := ranges[:0:0]
-		for _, r := range ranges {
-			m := t.hoare(r[0], r[1], d, mid)
-			if m > r[0] {
-				next = append(next, [2]int{r[0], m})
+		t := 0
+		for i := 0; i < n; i++ {
+			r0, r1 := out[i][0], out[i][1]
+			m := b.hoare(r0, r1, d, mid)
+			if m > r0 {
+				tmp[t] = [2]int{r0, m}
+				t++
 			}
-			if m < r[1] {
-				next = append(next, [2]int{m, r[1]})
+			if m < r1 {
+				tmp[t] = [2]int{m, r1}
+				t++
 			}
 		}
-		ranges = next
+		*out = tmp
+		n = t
 	}
-	return ranges
+	return n
+}
+
+// coord returns the coordinate slice of dimension d.
+func (b *builder) coord(d int) []float64 {
+	switch d {
+	case 1:
+		return b.p.Y
+	case 2:
+		return b.p.Z
+	}
+	return b.p.X
+}
+
+// swap exchanges particles i and j together with their permutation entries.
+func (b *builder) swap(i, j int) {
+	b.p.Swap(i, j)
+	b.perm[i], b.perm[j] = b.perm[j], b.perm[i]
 }
 
 // hoare partitions particles [lo, hi) so that those with coordinate d < mid
 // come first; it returns the index of the first particle with coordinate
-// >= mid.
-func (t *Tree) hoare(lo, hi, d int, mid float64) int {
-	p := t.Particles
-	coord := p.X
-	switch d {
-	case 1:
-		coord = p.Y
-	case 2:
-		coord = p.Z
+// >= mid. Large ranges take the parallel path, which performs the exact
+// same swaps.
+func (b *builder) hoare(lo, hi, d int, mid float64) int {
+	if b.workers > 1 && hi-lo >= parScanMin {
+		return b.hoarePar(lo, hi, d, mid)
 	}
+	coord := b.coord(d)
 	i, j := lo, hi
 	for i < j {
 		for i < j && coord[i] < mid {
@@ -225,15 +439,295 @@ func (t *Tree) hoare(lo, hi, d int, mid float64) int {
 			j--
 		}
 		if i < j-1 {
-			p.Swap(i, j-1)
-			t.Perm[i], t.Perm[j-1] = t.Perm[j-1], t.Perm[i]
-			t.Stats.ParticleMoves++
+			b.swap(i, j-1)
+			b.stats.ParticleMoves++
 			i++
 			j--
 		}
 	}
-	t.Stats.ParticleScans += hi - lo
+	b.stats.ParticleScans += hi - lo
 	return i
+}
+
+// hoarePar is the chunk-parallel Hoare partition. The serial loop always
+// exchanges the k-th out-of-place element from the left (coordinate >= mid
+// below the split point) with the k-th out-of-place element from the right
+// (coordinate < mid above it), so the swap set — and therefore the final
+// particle order, the permutation and the move count — is a pure function
+// of the data, computable without the sequential two-pointer walk: count
+// the elements below mid to locate the split point, collect the two
+// out-of-place position lists, and swap pairs in parallel.
+func (b *builder) hoarePar(lo, hi, d int, mid float64) int {
+	n := hi - lo
+	coord := b.coord(d)
+	w := pool.Workers(n, b.workers)
+	if cap(b.chunkCnt) < w {
+		b.chunkCnt = make([]int, w)
+	}
+	cnt := b.chunkCnt[:w]
+	pool.Blocks(n, b.workers, func(wi, clo, chi int) {
+		c := 0
+		for _, v := range coord[lo+clo : lo+chi] {
+			if v < mid {
+				c++
+			}
+		}
+		cnt[wi] = c
+	})
+	less := 0
+	for _, c := range cnt {
+		less += c
+	}
+	m := lo + less
+	b.stats.ParticleScans += n // same counter as the serial walk
+	if m == lo || m == hi {
+		return m
+	}
+
+	k := b.collect(coord, lo, m, mid, true, &b.posL)
+	kr := b.collect(coord, m, hi, mid, false, &b.posR)
+	if k != kr {
+		panic("tree: internal error: unbalanced hoare partition")
+	}
+	posL, posR := b.posL[:k], b.posR[:k]
+	if b.workers > 1 && k >= parSwapMin {
+		pool.Blocks(k, b.workers, func(_, tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				b.swap(posL[t], posR[k-1-t])
+			}
+		})
+	} else {
+		for t := 0; t < k; t++ {
+			b.swap(posL[t], posR[k-1-t])
+		}
+	}
+	b.stats.ParticleMoves += k
+	return m
+}
+
+// collect gathers into *dst the positions in [lo, hi) whose coordinate is
+// >= mid (ge) or < mid (!ge), in ascending order, and returns their count.
+// The chunk scans run on the worker pool; each chunk writes its positions
+// at its prefix-sum offset, so the output order matches a serial scan.
+func (b *builder) collect(coord []float64, lo, hi int, mid float64, ge bool, dst *[]int) int {
+	n := hi - lo
+	w := pool.Workers(n, b.workers)
+	cnt := make([]int, w)
+	pool.Blocks(n, b.workers, func(wi, clo, chi int) {
+		c := 0
+		for _, v := range coord[lo+clo : lo+chi] {
+			if (v >= mid) == ge {
+				c++
+			}
+		}
+		cnt[wi] = c
+	})
+	total := 0
+	for wi := range cnt {
+		cnt[wi], total = total, total+cnt[wi]
+	}
+	if cap(*dst) < total {
+		*dst = make([]int, total)
+	}
+	out := (*dst)[:total]
+	pool.Blocks(n, b.workers, func(wi, clo, chi int) {
+		at := cnt[wi]
+		for p := lo + clo; p < lo+chi; p++ {
+			if (coord[p] >= mid) == ge {
+				out[at] = p
+				at++
+			}
+		}
+	})
+	return total
+}
+
+// --- Parallel top-of-tree construction -----------------------------------
+
+// skelNode is a node of the serially-built top of the tree; its children
+// are either further skeleton nodes or subtree tasks.
+type skelNode struct {
+	node     Node
+	children []skelChild
+}
+
+// skelChild points at a skeleton node (skel >= 0) or a subtree task
+// (task >= 0); exactly one is set.
+type skelChild struct {
+	skel, task int
+}
+
+// subtreeTask is one independently-built subtree: a particle range finalized
+// by the top-of-tree partitioning, built serially by one worker into a
+// locally-indexed node buffer and spliced into the final node slice at base.
+type subtreeTask struct {
+	lo, hi, level int
+	parent        int32 // final index of the parent node (set during numbering)
+	base          int   // final index of the task's root (set during numbering)
+	nodes         []Node
+	stats         BuildStats
+}
+
+// buildParallel constructs the tree over [0, n) with the builder's worker
+// budget: serial top-of-tree recursion with parallel scans, concurrent
+// subtree tasks over disjoint ranges, then a deterministic renumbering
+// that reproduces the serial construction order exactly.
+func (b *builder) buildParallel(n int) {
+	cutoff := n / (tasksPerWorker * b.workers)
+	if cutoff < b.leafSize {
+		cutoff = b.leafSize
+	}
+	b.buildTop(0, n, 0, cutoff)
+
+	// Run the subtree tasks on the worker pool. Tasks vary in size, so
+	// workers pull from a shared counter rather than owning fixed ranges;
+	// the schedule does not affect the output, since every task writes
+	// only its own node buffer and its disjoint particle range.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < min(b.workers, len(b.tasks)); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ti := int(cursor.Add(1)) - 1
+				if ti >= len(b.tasks) {
+					return
+				}
+				b.runTask(&b.tasks[ti])
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range b.tasks {
+		b.stats.add(b.tasks[i].stats)
+	}
+	out := make([]Node, b.stats.Nodes)
+	next := 0
+	b.number(out, 0, -1, &next)
+	if next != b.stats.Nodes {
+		panic("tree: internal error: node numbering mismatch")
+	}
+	pool.For(len(b.tasks), b.workers, func(ti int) {
+		spliceTask(out, &b.tasks[ti])
+	})
+	b.nodes = out
+	b.skel, b.tasks = nil, nil
+}
+
+// buildTop creates the node covering [lo, hi) in the skeleton and
+// recursively partitions it, handing child ranges of at most cutoff
+// particles off as subtree tasks. The recursion itself is serial — node
+// discovery order defines the construction order — but the scans and
+// partitions of these large top ranges run on the worker pool.
+func (b *builder) buildTop(lo, hi, level, cutoff int) int {
+	si := len(b.skel)
+	b.skel = append(b.skel, skelNode{})
+	box := b.shrinkBox(lo, hi)
+	nd := Node{
+		Box:    box,
+		Center: box.Center(),
+		Radius: box.Radius(),
+		Lo:     lo,
+		Hi:     hi,
+		Level:  level,
+	}
+	b.stats.Nodes++
+	if level > b.stats.MaxDepth {
+		b.stats.MaxDepth = level
+	}
+	// Top nodes always exceed cutoff >= leafSize particles, except the
+	// root of a small build, which the caller routes serially; keep the
+	// leaf check anyway so the invariant is local.
+	if hi-lo <= b.leafSize {
+		b.stats.Leaves++
+		b.skel[si] = skelNode{node: nd}
+		return si
+	}
+	dims := splitDims(box)
+	var ranges [8][2]int
+	nr := b.partition(lo, hi, box, dims, &ranges)
+	if nr <= 1 {
+		b.stats.Leaves++
+		b.skel[si] = skelNode{node: nd}
+		return si
+	}
+	children := make([]skelChild, 0, nr)
+	for _, r := range ranges[:nr] {
+		if r[1]-r[0] <= cutoff {
+			b.tasks = append(b.tasks, subtreeTask{lo: r[0], hi: r[1], level: level + 1})
+			children = append(children, skelChild{skel: -1, task: len(b.tasks) - 1})
+		} else {
+			ci := b.buildTop(r[0], r[1], level+1, cutoff)
+			children = append(children, skelChild{skel: ci, task: -1})
+		}
+	}
+	b.skel[si] = skelNode{node: nd, children: children}
+	return si
+}
+
+// runTask builds one subtree serially into the task's private node buffer.
+// The sub-builder shares the particle set and permutation — the task owns
+// [lo, hi) exclusively — and runs with one worker, so it is exactly the
+// serial recursion.
+func (b *builder) runTask(t *subtreeTask) {
+	tb := builder{
+		p:        b.p,
+		perm:     b.perm,
+		leafSize: b.leafSize,
+		workers:  1,
+		nodes:    make([]Node, 0, nodeCapHint(t.hi-t.lo, b.leafSize)),
+	}
+	tb.build(-1, t.lo, t.hi, t.level)
+	t.nodes = tb.nodes
+	t.stats = tb.stats
+}
+
+// number walks the skeleton depth-first — the serial construction order —
+// assigning final node indices: skeleton nodes are written to out directly,
+// subtree tasks reserve a contiguous index block for spliceTask. It returns
+// the final index of skeleton node si.
+func (b *builder) number(out []Node, si int, parent int32, next *int) int32 {
+	idx := int32(*next)
+	*next++
+	sn := &b.skel[si]
+	nd := sn.node
+	nd.Parent = parent
+	if len(sn.children) > 0 {
+		nd.Children = make([]int32, len(sn.children))
+	}
+	for ci, ch := range sn.children {
+		if ch.task >= 0 {
+			t := &b.tasks[ch.task]
+			t.parent = idx
+			t.base = *next
+			nd.Children[ci] = int32(t.base)
+			*next += len(t.nodes)
+		} else {
+			nd.Children[ci] = b.number(out, ch.skel, idx, next)
+		}
+	}
+	out[idx] = nd
+	return idx
+}
+
+// spliceTask copies a finished subtree into its reserved index block,
+// shifting the task-local node references by the block base.
+func spliceTask(out []Node, t *subtreeTask) {
+	base := int32(t.base)
+	for j := range t.nodes {
+		nd := t.nodes[j]
+		if j == 0 {
+			nd.Parent = t.parent
+		} else {
+			nd.Parent += base
+		}
+		for ci := range nd.Children {
+			nd.Children[ci] += base
+		}
+		out[t.base+j] = nd
+	}
 }
 
 // Validate checks the structural invariants of the tree and returns an error
@@ -312,15 +806,24 @@ type BatchSet struct {
 // BuildBatches partitions the target particles into localized batches of at
 // most batchSize targets using the same recursive partitioning routine as
 // the source tree: the batches are exactly the leaves of a cluster tree with
-// leaf size batchSize.
+// leaf size batchSize. It is BuildBatchesWorkers with the default worker
+// count.
 func BuildBatches(targets *particle.Set, batchSize int) *BatchSet {
-	t := Build(targets, batchSize)
+	return BuildBatchesWorkers(targets, batchSize, 0)
+}
+
+// BuildBatchesWorkers is BuildBatches with an explicit worker bound
+// (workers <= 0 selects GOMAXPROCS, 1 is the serial build). Like
+// BuildWorkers, the output is bit-identical for every worker count.
+func BuildBatchesWorkers(targets *particle.Set, batchSize, workers int) *BatchSet {
+	t := BuildWorkers(targets, batchSize, workers)
 	bs := &BatchSet{
 		Targets:   t.Particles,
 		Perm:      t.Perm,
 		BatchSize: batchSize,
 		Stats:     t.Stats,
 	}
+	bs.Batches = make([]Batch, 0, t.Stats.Leaves)
 	for i := range t.Nodes {
 		nd := &t.Nodes[i]
 		if nd.IsLeaf() {

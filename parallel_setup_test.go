@@ -1,0 +1,68 @@
+package barytree_test
+
+// End-to-end pins for the parallel setup phase: every worker count must
+// produce exactly the same potentials (==, not approximately) and the
+// same modeled times, because setup output is bit-identical to serial.
+
+import (
+	"reflect"
+	"testing"
+
+	"barytree"
+)
+
+func TestSolveCPUWorkersExactEquality(t *testing.T) {
+	pts := barytree.UniformCube(6000, 21)
+	p := barytree.DefaultParams()
+	p.LeafSize, p.BatchSize = 300, 300
+	p.Degree = 4
+
+	p.Workers = 1
+	want, err := barytree.SolveCPU(barytree.Coulomb(), pts, pts, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 0} {
+		p.Workers = w
+		got, err := barytree.SolveCPU(barytree.Coulomb(), pts, pts, p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Times != want.Times {
+			t.Fatalf("workers=%d: modeled times %+v != serial %+v", w, got.Times, want.Times)
+		}
+		for i := range want.Phi {
+			if got.Phi[i] != want.Phi[i] {
+				t.Fatalf("workers=%d: phi[%d] = %g != serial %g", w, i, got.Phi[i], want.Phi[i])
+			}
+		}
+	}
+}
+
+func TestSolveDistributedWorkersExactEquality(t *testing.T) {
+	pts := barytree.UniformCube(8000, 22)
+	p := barytree.DefaultParams()
+	p.LeafSize, p.BatchSize = 400, 400
+	p.Degree = 3
+
+	cfg := barytree.DistributedConfig{Ranks: 2, WorkersPerRank: 1}
+	want, err := barytree.SolveDistributed(barytree.Coulomb(), pts, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 0} {
+		cfg.WorkersPerRank = w
+		got, err := barytree.SolveDistributed(barytree.Coulomb(), pts, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Times != want.Times || !reflect.DeepEqual(got.RankTimes, want.RankTimes) {
+			t.Fatalf("workers=%d: modeled times differ from serial", w)
+		}
+		for i := range want.Phi {
+			if got.Phi[i] != want.Phi[i] {
+				t.Fatalf("workers=%d: phi[%d] = %g != serial %g", w, i, got.Phi[i], want.Phi[i])
+			}
+		}
+	}
+}

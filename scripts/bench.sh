@@ -1,19 +1,21 @@
 #!/bin/sh
 # scripts/bench.sh — run the performance benchmarks tracked by this repo
-# (block-kernel micro-bench, list construction, charge pass, tree build,
-# end-to-end CPU treecode) and record the results.
+# (block-kernel micro-bench, list construction, charge pass, cluster-grid
+# layout, tree/batch build, end-to-end CPU treecode) and record the
+# results.
 #
 # Usage:
-#   scripts/bench.sh               # record current tree -> BENCH_PR3.current.txt
-#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR3.baseline.txt
+#   scripts/bench.sh               # record current tree -> BENCH_PR4.current.txt
+#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR4.baseline.txt
 #   scripts/bench.sh -count 5      # more repetitions (default 3)
 #
 # Both text files are benchstat-compatible; compare with
-#   benchstat BENCH_PR3.baseline.txt BENCH_PR3.current.txt
-# After every run the JSON summary BENCH_PR3.json is regenerated from
+#   benchstat BENCH_PR4.baseline.txt BENCH_PR4.current.txt
+# After every run the JSON summary BENCH_PR4.json is regenerated from
 # whichever text files exist: per-benchmark best-of-count ns/op, B/op and
 # allocs/op for baseline and current, plus speedup ratios where both sides
-# have the benchmark. See docs/performance.md.
+# have the benchmark. See docs/performance.md. The PR3 record
+# (BENCH_PR3.*) is kept as history and no longer regenerated.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -37,9 +39,9 @@ while [ $# -gt 0 ]; do
     esac
 done
 
-BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkTreeBuild100k|BenchmarkTreecodeCPU50k)$'
+BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k)$'
 
-go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR3.$SECTION.txt"
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR4.$SECTION.txt"
 
 # Regenerate the JSON summary from the recorded text files. For each
 # benchmark the best (minimum) ns/op across repetitions is kept, the
@@ -100,6 +102,6 @@ END {
     }
     printf "\n  }\n}\n"
 }
-' $(ls BENCH_PR3.baseline.txt BENCH_PR3.current.txt 2>/dev/null) >BENCH_PR3.json
+' $(ls BENCH_PR4.baseline.txt BENCH_PR4.current.txt 2>/dev/null) >BENCH_PR4.json
 
-echo "wrote BENCH_PR3.$SECTION.txt and BENCH_PR3.json"
+echo "wrote BENCH_PR4.$SECTION.txt and BENCH_PR4.json"

@@ -2,7 +2,8 @@
 # verify.sh — the repo's tier-1 gate (see ROADMAP.md). Every PR must pass:
 #   gofmt -s (no unformatted or unsimplified files), go vet, the project's
 #   own static analysis suite (cmd/bltcvet, see docs/static-analysis.md),
-#   full build, full tests with the race detector.
+#   full build, full tests with the race detector, and a one-iteration
+#   smoke run of the tracked benchmarks so they cannot bit-rot.
 set -e
 
 cd "$(dirname "$0")"
@@ -25,4 +26,11 @@ go build ./...
 echo "go build: ok"
 
 go test -race ./...
+echo "go test -race: ok"
+
+# Smoke-run the benchmarks scripts/bench.sh tracks (keep the regex in sync
+# with scripts/bench.sh): one iteration each, results discarded — this only
+# proves the tracked benches still compile and run.
+go test -run '^$' -bench '^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k)$' -benchtime 1x . >/dev/null
+echo "bench smoke (-benchtime=1x): ok"
 echo "verify: all checks passed"
