@@ -367,6 +367,30 @@ func BenchmarkTreecodeCPU50k(b *testing.B) {
 	}
 }
 
+// BenchmarkComputePhase50k measures the compute phase alone:
+// core.RunComputeOnly on a prebuilt plan with the modified charges already
+// computed, the repeated-solve path of the Solver facade. Unlike
+// BenchmarkTreecodeCPU50k — which re-runs the full Solve (tree build,
+// lists, charge pass) every iteration and dilutes inner-loop wins — this
+// isolates the interaction-list evaluation that dominates every problem
+// size in the paper's Tables 3-5.
+func BenchmarkComputePhase50k(b *testing.B) {
+	pts := barytree.UniformCube(50_000, 3)
+	p := core.Params{Theta: 0.8, Degree: 6, LeafSize: 1000, BatchSize: 1000}
+	pl, err := core.NewPlan(pts, pts, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl.Clusters.ComputeCharges(pl.Sources, 0)
+	phi := make([]float64, pts.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(phi)
+		core.RunComputeOnly(pl, kernel.Coulomb{}, phi)
+	}
+}
+
 func BenchmarkTreecodeDevice50k(b *testing.B) {
 	pts := barytree.UniformCube(50_000, 3)
 	p := barytree.Params{Theta: 0.8, Degree: 6, LeafSize: 1000, BatchSize: 1000}

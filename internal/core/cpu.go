@@ -62,13 +62,13 @@ func RunCPU(pl *Plan, k kernel.Kernel, opt CPUOptions) *Result {
 	res.Wall[perfmodel.PhasePrecompute] = time.Since(start).Seconds()
 	res.Times[perfmodel.PhasePrecompute] = chargeFlops / rate
 
-	// Compute phase: walk every batch's interaction list. The block kernel
+	// Compute phase: walk every batch's interaction list. The tile kernel
 	// is resolved once here; every inner loop below it is devirtualized.
 	start = time.Now()
-	bk := kernel.AsBlock(k)
+	tk := kernel.AsTile(k)
 	phiBatch := make([]float64, pl.Batches.Targets.Len())
 	pool.For(len(pl.Batches.Batches), opt.Workers, func(bi int) {
-		evalBatchLists(pl, bk, bi, phiBatch)
+		evalBatchLists(pl, tk, bi, phiBatch)
 	})
 	res.Wall[perfmodel.PhaseCompute] = time.Since(start).Seconds()
 	res.Times[perfmodel.PhaseCompute] = computeFlops(pl.Lists.Stats, k, kernel.ArchCPU) / rate
@@ -85,32 +85,51 @@ func RunCPU(pl *Plan, k kernel.Kernel, opt CPUOptions) *Result {
 // path used by the Solver facade (boundary-integral iterations update
 // charges, not geometry). It returns the modeled compute-phase flop count.
 func RunComputeOnly(pl *Plan, k kernel.Kernel, phi []float64) float64 {
-	bk := kernel.AsBlock(k)
+	tk := kernel.AsTile(k)
 	pool.For(len(pl.Batches.Batches), 0, func(bi int) {
-		evalBatchLists(pl, bk, bi, phi)
+		evalBatchLists(pl, tk, bi, phi)
 	})
 	return computeFlops(pl.Lists.Stats, k, kernel.ArchCPU)
 }
 
 // evalBatchLists accumulates batch bi's full interaction list into phi
-// (batch target order) through the block fast path.
+// (batch target order) through the tiled fast path: TileWidth targets walk
+// the whole list together so each source block streams from memory once
+// per tile instead of once per target. Per target the adds still land in
+// list order — the TileKernel contract adds exactly one block total per
+// list entry — and the accumulators are seeded from and stored back to
+// phi, so the result is bit-identical to the single-target block path.
+// Targets past the last full tile take the single-target epilogue.
 //
 //hot:path
-func evalBatchLists(pl *Plan, bk kernel.BlockKernel, bi int, phi []float64) {
+func evalBatchLists(pl *Plan, tk kernel.TileKernel, bi int, phi []float64) {
 	b := &pl.Batches.Batches[bi]
 	tg := pl.Batches.Targets
 	src := pl.Sources.Particles
-	for _, ci := range pl.Lists.Direct[bi] {
-		nd := &pl.Sources.Nodes[ci]
-		for ti := b.Lo; ti < b.Hi; ti++ {
-			phi[ti] += EvalDirectTargetBlock(bk, tg, ti, src, nd.Lo, nd.Hi)
-		}
-	}
 	cd := pl.Clusters
-	for _, ci := range pl.Lists.Approx[bi] {
-		px, py, pz, qhat := cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci]
-		for ti := b.Lo; ti < b.Hi; ti++ {
-			phi[ti] += EvalApproxTargetBlock(bk, tg, ti, px, py, pz, qhat)
+	direct, approx := pl.Lists.Direct[bi], pl.Lists.Approx[bi]
+
+	var t TargetTile
+	ti := b.Lo
+	for ; ti+kernel.TileWidth <= b.Hi; ti += kernel.TileWidth {
+		t.LoadParticles(tg, ti)
+		t.LoadPotentials(phi, ti)
+		for _, ci := range direct {
+			nd := &pl.Sources.Nodes[ci]
+			EvalDirectTileBlock(tk, &t, src, nd.Lo, nd.Hi)
+		}
+		for _, ci := range approx {
+			EvalApproxTileBlock(tk, &t, cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci])
+		}
+		t.Store(phi, ti)
+	}
+	for ; ti < b.Hi; ti++ {
+		for _, ci := range direct {
+			nd := &pl.Sources.Nodes[ci]
+			phi[ti] += EvalDirectTargetBlock(tk, tg, ti, src, nd.Lo, nd.Hi)
+		}
+		for _, ci := range approx {
+			phi[ti] += EvalApproxTargetBlock(tk, tg, ti, cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci])
 		}
 	}
 }

@@ -58,6 +58,132 @@ func EvalApproxTargetBlock(bk kernel.BlockKernel, tg *particle.Set, ti int, px, 
 	return bk.EvalBlockAccum(tg.X[ti], tg.Y[ti], tg.Z[ti], px, py, pz, qhat)
 }
 
+// TargetTile is the working state of the target-tiled evaluation drivers: a
+// tile of kernel.TileWidth targets evaluated together against every source
+// block on an interaction list, so the source arrays stream once per tile
+// instead of once per target (the paper's thread-block-of-targets layout on
+// the host). Acc carries the running potentials; each Eval*TileBlock call
+// adds one block total per target, so loading Acc from phi, running the
+// list, and storing back reproduces the per-target "phi[ti] += block" add
+// chain of the single-target drivers bit-for-bit.
+type TargetTile struct {
+	TX, TY, TZ [kernel.TileWidth]float64
+	Acc        [kernel.TileWidth]float64
+}
+
+// LoadParticles gathers the coordinates of targets [ti, ti+TileWidth) and
+// zeroes the accumulators.
+//
+//hot:path
+func (t *TargetTile) LoadParticles(tg *particle.Set, ti int) {
+	for l := 0; l < kernel.TileWidth; l++ {
+		t.TX[l] = tg.X[ti+l]
+		t.TY[l] = tg.Y[ti+l]
+		t.TZ[l] = tg.Z[ti+l]
+		t.Acc[l] = 0
+	}
+}
+
+// LoadParticlesAt gathers four arbitrary target indices (sampled-target
+// evaluation) and zeroes the accumulators.
+//
+//hot:path
+func (t *TargetTile) LoadParticlesAt(tg *particle.Set, i0, i1, i2, i3 int) {
+	t.TX = [kernel.TileWidth]float64{tg.X[i0], tg.X[i1], tg.X[i2], tg.X[i3]}
+	t.TY = [kernel.TileWidth]float64{tg.Y[i0], tg.Y[i1], tg.Y[i2], tg.Y[i3]}
+	t.TZ = [kernel.TileWidth]float64{tg.Z[i0], tg.Z[i1], tg.Z[i2], tg.Z[i3]}
+	t.Acc = [kernel.TileWidth]float64{}
+}
+
+// LoadProxies gathers proxy points [m, m+TileWidth) of a Chebyshev grid as
+// the tile's targets (the cluster-particle variants accumulate potentials
+// at proxy points) and zeroes the accumulators.
+//
+//hot:path
+func (t *TargetTile) LoadProxies(px, py, pz []float64, m int) {
+	for l := 0; l < kernel.TileWidth; l++ {
+		t.TX[l] = px[m+l]
+		t.TY[l] = py[m+l]
+		t.TZ[l] = pz[m+l]
+		t.Acc[l] = 0
+	}
+}
+
+// LoadPotentials seeds the accumulators from phi[ti:], so the tile's adds
+// continue phi's existing rounding chain exactly.
+//
+//hot:path
+func (t *TargetTile) LoadPotentials(phi []float64, ti int) {
+	for l := 0; l < kernel.TileWidth; l++ {
+		t.Acc[l] = phi[ti+l]
+	}
+}
+
+// Store writes the accumulators back to phi[ti:].
+//
+//hot:path
+func (t *TargetTile) Store(phi []float64, ti int) {
+	for l := 0; l < kernel.TileWidth; l++ {
+		phi[ti+l] = t.Acc[l]
+	}
+}
+
+// EvalDirectTileBlock accumulates one direct-sum source block into the
+// tile: Acc[l] += sum over sources [cLo, cHi), per target, in source order
+// — the tiled form of EvalDirectTargetBlock. Resolve tk once per run with
+// kernel.AsTile.
+//
+//hot:path
+func EvalDirectTileBlock(tk kernel.TileKernel, t *TargetTile, src *particle.Set, cLo, cHi int) {
+	tk.EvalTileAccum(&t.TX, &t.TY, &t.TZ,
+		src.X[cLo:cHi], src.Y[cLo:cHi], src.Z[cLo:cHi], src.Q[cLo:cHi], &t.Acc)
+}
+
+// EvalApproxTileBlock accumulates one source block given as flat arrays —
+// a cluster's Chebyshev points with modified charges, or any ad-hoc
+// source slices — into the tile; the tiled form of EvalApproxTargetBlock.
+//
+//hot:path
+func EvalApproxTileBlock(tk kernel.TileKernel, t *TargetTile, px, py, pz, qhat []float64) {
+	tk.EvalTileAccum(&t.TX, &t.TY, &t.TZ, px, py, pz, qhat, &t.Acc)
+}
+
+// TargetTileF32 is the single-precision tile state: float32 coordinates
+// (rounded once at load, exactly as the single-target F32 drivers round
+// the target) and float32 accumulators.
+type TargetTileF32 struct {
+	TX, TY, TZ [kernel.TileWidth]float32
+	Acc        [kernel.TileWidth]float32
+}
+
+// LoadParticles gathers targets [ti, ti+TileWidth), rounding coordinates
+// to float32, and zeroes the accumulators.
+//
+//hot:path
+func (t *TargetTileF32) LoadParticles(tg *particle.Set, ti int) {
+	for l := 0; l < kernel.TileWidth; l++ {
+		t.TX[l] = float32(tg.X[ti+l])
+		t.TY[l] = float32(tg.Y[ti+l])
+		t.TZ[l] = float32(tg.Z[ti+l])
+		t.Acc[l] = 0
+	}
+}
+
+// EvalDirectTileBlockF32 is the fp32 form of EvalDirectTileBlock.
+//
+//hot:path
+func EvalDirectTileBlockF32(tk kernel.F32TileKernel, t *TargetTileF32, src *particle.Set, cLo, cHi int) {
+	tk.EvalTileAccumF32(&t.TX, &t.TY, &t.TZ,
+		src.X[cLo:cHi], src.Y[cLo:cHi], src.Z[cLo:cHi], src.Q[cLo:cHi], &t.Acc)
+}
+
+// EvalApproxTileBlockF32 is the fp32 form of EvalApproxTileBlock.
+//
+//hot:path
+func EvalApproxTileBlockF32(tk kernel.F32TileKernel, t *TargetTileF32, px, py, pz, qhat []float64) {
+	tk.EvalTileAccumF32(&t.TX, &t.TY, &t.TZ, px, py, pz, qhat, &t.Acc)
+}
+
 // EvalDirectTargetF32 is the single-precision variant of EvalDirectTarget,
 // used by the mixed-precision extension. Accumulation is float32 as well,
 // mirroring an fp32 GPU kernel. Scalar reference path.

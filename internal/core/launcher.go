@@ -27,8 +27,8 @@ type Launcher struct {
 	// depend on.
 	DataReady float64
 
-	bk        kernel.BlockKernel
-	f32b      kernel.F32BlockKernel
+	tk        kernel.TileKernel
+	f32t      kernel.F32TileKernel
 	rate      float64
 	capacity  float64
 	perEval   float64
@@ -57,9 +57,10 @@ func NewLauncher(dev *device.Device, host *perfmodel.Clock, k kernel.Kernel,
 		capacity:  float64(dev.Spec.ThreadCapacity()),
 		perEval:   k.Cost(kernel.ArchGPU) + 2,
 	}
-	// Resolve the block fast path once for the whole compute phase; every
-	// kernel body launched below dispatches once per block, not per source.
-	l.bk = kernel.AsBlock(k)
+	// Resolve the tiled fast path once for the whole compute phase; every
+	// kernel body launched below dispatches once per block, not per source,
+	// and the host executes TileWidth targets per dispatch.
+	l.tk = kernel.AsTile(k)
 	if prec == device.FP32 {
 		l.rate *= dev.Spec.FP32Speedup
 		f32, ok := k.(kernel.F32Kernel)
@@ -67,7 +68,7 @@ func NewLauncher(dev *device.Device, host *perfmodel.Clock, k kernel.Kernel,
 			panic("core: FP32 requested but kernel does not implement kernel.F32Kernel")
 		}
 		if ok {
-			l.f32b = kernel.AsF32Block(f32)
+			l.f32t = kernel.AsF32Tile(f32)
 		}
 	}
 	return l
@@ -105,54 +106,104 @@ func (l *Launcher) queue(label string, work float64, grid, block int) (device.La
 
 // LaunchDirect queues one batch-cluster direct sum kernel: targets
 // [bLo, bLo+nb) of tg against source particles [cLo, cHi) of src, with one
-// thread block per target and atomic accumulation into phi (batch target
-// order).
+// modeled thread block per target and atomic accumulation into phi (batch
+// target order). The host executes the same arithmetic tiled: one host
+// block per TileWidth targets plus single-target blocks for the ragged
+// tail, adding each target's block total into phi once. The tile's
+// accumulators start at zero, and a sum accumulated from +0 under
+// round-to-nearest can never be -0, so the per-lane 0 + total add is
+// bit-exact against the single-target path; the modeled spec (grid nb)
+// is unchanged.
 func (l *Launcher) LaunchDirect(tg *particle.Set, bLo, nb int, src *particle.Set, cLo, cHi int, phi *device.AccumBuffer) {
 	work := float64(nb) * float64(cHi-cLo) * l.perEval
 	spec, submit := l.queue("direct", work, nb, min(cHi-cLo, 1024))
+	fnGrid := nb
 	var fn func(int)
 	if !l.ModelOnly {
-		bk := l.bk
-		f32b := l.f32b
+		tk := l.tk
+		f32t := l.f32t
 		prec := l.Precision
+		nTiles := nb / kernel.TileWidth
+		fnGrid = nTiles + nb%kernel.TileWidth
 		fn = func(block int) {
-			ti := bLo + block
+			if block < nTiles {
+				ti := bLo + block*kernel.TileWidth
+				if prec == device.FP32 {
+					var t TargetTileF32
+					t.LoadParticles(tg, ti)
+					EvalDirectTileBlockF32(f32t, &t, src, cLo, cHi)
+					for lane := 0; lane < kernel.TileWidth; lane++ {
+						phi.Add(ti+lane, float64(t.Acc[lane]))
+					}
+				} else {
+					var t TargetTile
+					t.LoadParticles(tg, ti)
+					EvalDirectTileBlock(tk, &t, src, cLo, cHi)
+					for lane := 0; lane < kernel.TileWidth; lane++ {
+						phi.Add(ti+lane, t.Acc[lane])
+					}
+				}
+				return
+			}
+			ti := bLo + nTiles*kernel.TileWidth + (block - nTiles)
 			var v float64
 			if prec == device.FP32 {
-				v = EvalDirectTargetBlockF32(f32b, tg, ti, src, cLo, cHi)
+				v = EvalDirectTargetBlockF32(f32t, tg, ti, src, cLo, cHi)
 			} else {
-				v = EvalDirectTargetBlock(bk, tg, ti, src, cLo, cHi)
+				v = EvalDirectTargetBlock(tk, tg, ti, src, cLo, cHi)
 			}
 			phi.Add(ti, v)
 		}
 	}
-	l.Dev.Launch(spec, submit, fn)
+	l.Dev.LaunchBlocks(spec, submit, fnGrid, fn)
 }
 
 // LaunchApprox queues one batch-cluster approximation kernel: targets
 // [bLo, bLo+nb) against a cluster's Chebyshev points px/py/pz with modified
-// charges qhat.
+// charges qhat. Host execution is tiled exactly as in LaunchDirect.
 func (l *Launcher) LaunchApprox(tg *particle.Set, bLo, nb int, px, py, pz, qhat []float64, phi *device.AccumBuffer) {
 	np := len(px)
 	work := float64(nb) * float64(np) * l.perEval
 	spec, submit := l.queue("approx", work, nb, min(np, 1024))
+	fnGrid := nb
 	var fn func(int)
 	if !l.ModelOnly {
-		bk := l.bk
-		f32b := l.f32b
+		tk := l.tk
+		f32t := l.f32t
 		prec := l.Precision
+		nTiles := nb / kernel.TileWidth
+		fnGrid = nTiles + nb%kernel.TileWidth
 		fn = func(block int) {
-			ti := bLo + block
+			if block < nTiles {
+				ti := bLo + block*kernel.TileWidth
+				if prec == device.FP32 {
+					var t TargetTileF32
+					t.LoadParticles(tg, ti)
+					EvalApproxTileBlockF32(f32t, &t, px, py, pz, qhat)
+					for lane := 0; lane < kernel.TileWidth; lane++ {
+						phi.Add(ti+lane, float64(t.Acc[lane]))
+					}
+				} else {
+					var t TargetTile
+					t.LoadParticles(tg, ti)
+					EvalApproxTileBlock(tk, &t, px, py, pz, qhat)
+					for lane := 0; lane < kernel.TileWidth; lane++ {
+						phi.Add(ti+lane, t.Acc[lane])
+					}
+				}
+				return
+			}
+			ti := bLo + nTiles*kernel.TileWidth + (block - nTiles)
 			var v float64
 			if prec == device.FP32 {
-				v = EvalApproxTargetBlockF32(f32b, tg, ti, px, py, pz, qhat)
+				v = EvalApproxTargetBlockF32(f32t, tg, ti, px, py, pz, qhat)
 			} else {
-				v = EvalApproxTargetBlock(bk, tg, ti, px, py, pz, qhat)
+				v = EvalApproxTargetBlock(tk, tg, ti, px, py, pz, qhat)
 			}
 			phi.Add(ti, v)
 		}
 	}
-	l.Dev.Launch(spec, submit, fn)
+	l.Dev.LaunchBlocks(spec, submit, fnGrid, fn)
 }
 
 // LaunchChargeKernels queues the two preprocessing kernels for every node

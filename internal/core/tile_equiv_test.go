@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"barytree/internal/device"
+	"barytree/internal/kernel"
+	"barytree/internal/perfmodel"
+)
+
+// referenceListPhi evaluates every batch's interaction list through the
+// per-source scalar reference path (EvalDirectTarget/EvalApproxTarget) in
+// exactly the per-target add order the drivers guarantee, and returns the
+// potentials in original target order. The plan's modified charges must
+// already be computed.
+func referenceListPhi(pl *Plan, k kernel.Kernel) []float64 {
+	tg := pl.Batches.Targets
+	src := pl.Sources.Particles
+	cd := pl.Clusters
+	phi := make([]float64, tg.Len())
+	for bi := range pl.Batches.Batches {
+		b := &pl.Batches.Batches[bi]
+		for _, ci := range pl.Lists.Direct[bi] {
+			nd := &pl.Sources.Nodes[ci]
+			for ti := b.Lo; ti < b.Hi; ti++ {
+				phi[ti] += EvalDirectTarget(k, tg, ti, src, nd.Lo, nd.Hi)
+			}
+		}
+		for _, ci := range pl.Lists.Approx[bi] {
+			for ti := b.Lo; ti < b.Hi; ti++ {
+				phi[ti] += EvalApproxTarget(k, tg, ti, cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci])
+			}
+		}
+	}
+	out := make([]float64, len(phi))
+	pl.Batches.Perm.ScatterInto(out, phi)
+	return out
+}
+
+// TestTiledCPUPathBitIdenticalRagged is the full-solve guarantee for the
+// target-tiled compute phase: RunCPU — which tiles TileWidth targets per
+// kernel dispatch and finishes ragged batch tails on the single-target
+// path — produces potentials bit-identical to the per-source scalar
+// reference, for batch sizes covering every residue mod TileWidth and for
+// all three TileKernel resolutions (assembly-backed Coulomb, Go
+// specialization, generic adapter over kernel.Func).
+func TestTiledCPUPathBitIdenticalRagged(t *testing.T) {
+	targets := testParticles(t, 2003, 31)
+	sources := testParticles(t, 2003, 32)
+	kernels := []kernel.Kernel{
+		kernel.Coulomb{},
+		kernel.Yukawa{Kappa: 0.6},
+		kernel.Func{KernelName: "coulomb-func", F: kernel.Coulomb{}.Eval},
+	}
+	for _, batch := range []int{61, 62, 63, 64} {
+		p := Params{Theta: 0.7, Degree: 3, LeafSize: 90, BatchSize: batch}
+		for _, k := range kernels {
+			pl, err := NewPlan(targets, sources, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := RunCPU(pl, k, CPUOptions{})
+			want := referenceListPhi(pl, k)
+			for i := range want {
+				if res.Phi[i] != want[i] {
+					t.Fatalf("batch=%d kernel=%s target %d: tiled %v != scalar %v (diff %g)",
+						batch, k.Name(), i, res.Phi[i], want[i], res.Phi[i]-want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDeviceTiledBitIdentical pins the two device-path guarantees of the
+// target-tiled rewiring. Functionally, the tiled host execution behind
+// LaunchBlocks accumulates each target's per-launch block totals in launch
+// order, exactly like the CPU driver's list order, so the device result
+// equals the CPU result bit for bit even at ragged batch sizes. For the
+// model, the launch specs are untouched (one modeled thread block per
+// target), so the functional run's phase times equal a model-only run's
+// exactly.
+func TestDeviceTiledBitIdentical(t *testing.T) {
+	pts := testParticles(t, 3001, 33)
+	k := kernel.Coulomb{}
+	p := Params{Theta: 0.7, Degree: 4, LeafSize: 150, BatchSize: 123}
+
+	plCPU, err := NewPlan(pts, pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := RunCPU(plCPU, k, CPUOptions{})
+
+	plDev, err := NewPlan(pts, pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(perfmodel.TitanV(), 0)
+	gpu := RunDevice(plDev, k, dev, DeviceOptions{})
+	for i := range cpu.Phi {
+		if gpu.Phi[i] != cpu.Phi[i] {
+			t.Fatalf("target %d: device %v != cpu %v (diff %g)",
+				i, gpu.Phi[i], cpu.Phi[i], gpu.Phi[i]-cpu.Phi[i])
+		}
+	}
+
+	plModel, err := NewPlan(pts, pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := RunDevice(plModel, k, device.New(perfmodel.TitanV(), 0), DeviceOptions{ModelOnly: true})
+	if model.Times != gpu.Times {
+		t.Errorf("functional tiled run changed modeled times: %v != model-only %v", gpu.Times, model.Times)
+	}
+}

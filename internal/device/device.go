@@ -151,6 +151,18 @@ type LaunchSpec struct {
 // asynchrony exists only in modeled time — so block functions of a single
 // launch may run concurrently with each other but not with other launches.
 func (d *Device) Launch(spec LaunchSpec, submit float64, fn func(block int)) {
+	d.LaunchBlocks(spec, submit, spec.Grid, fn)
+}
+
+// LaunchBlocks is Launch with the functional grid decoupled from the
+// modeled one: the timing model records spec.Grid blocks exactly as Launch
+// does, while fn executes over [0, fnGrid) host blocks. This lets a driver
+// keep the modeled GPU geometry (one thread block per target, matching the
+// paper's kernels and the occupancy/work accounting) while the host
+// executes the same arithmetic in target-tiled form with fewer, wider
+// blocks. The modeled timeline is byte-identical for byte-identical specs
+// regardless of fnGrid.
+func (d *Device) LaunchBlocks(spec LaunchSpec, submit float64, fnGrid int, fn func(block int)) {
 	if spec.Grid < 0 || spec.Block <= 0 {
 		panic(fmt.Sprintf("device: invalid launch geometry grid=%d block=%d", spec.Grid, spec.Block))
 	}
@@ -171,7 +183,7 @@ func (d *Device) Launch(spec LaunchSpec, submit float64, fn func(block int)) {
 	d.Tracer.Add("device.flop_eq", spec.FlopEq)
 
 	if fn != nil {
-		d.run(spec.Grid, fn)
+		d.run(fnGrid, fn)
 	}
 }
 

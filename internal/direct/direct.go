@@ -5,9 +5,12 @@
 // evaluation for error measurement at large N (Section 4 samples the error
 // at a random subset of targets for systems of 8M particles and up).
 //
-// All evaluators resolve the kernel's block fast path (kernel.AsBlock) once
-// per call, so the O(N^2) inner loop pays one dynamic dispatch per target,
-// not per pairwise interaction.
+// All evaluators resolve the kernel's tiled fast path (kernel.AsTile) once
+// per call and evaluate kernel.TileWidth targets per dispatch, so the
+// O(N^2) inner loop streams the source arrays once per target tile and
+// pays one dynamic dispatch per tile, not per pairwise interaction. Each
+// target's potential is accumulated from zero in source order either way,
+// so the tiling is bit-identical to the per-target block path.
 package direct
 
 import (
@@ -20,41 +23,82 @@ import (
 // When targets and sources are the same set, the singular self term is
 // excluded by the kernel convention G(x,x) = 0.
 func Sum(k kernel.Kernel, targets, sources *particle.Set) []float64 {
-	bk := kernel.AsBlock(k)
+	tk := kernel.AsTile(k)
 	phi := make([]float64, targets.Len())
-	for i := range phi {
-		phi[i] = at(bk, targets, i, sources)
-	}
+	sumRange(tk, targets, sources, phi, 0, len(phi))
 	return phi
 }
 
 // SumParallel computes the same potentials using up to workers goroutines
 // (workers <= 0 selects GOMAXPROCS). Targets are partitioned into
-// contiguous blocks; each worker owns its block of the output, so no
-// synchronization on phi is needed.
+// contiguous blocks; each worker owns its block of the output and tiles
+// within it, so no synchronization on phi is needed.
 func SumParallel(k kernel.Kernel, targets, sources *particle.Set, workers int) []float64 {
-	bk := kernel.AsBlock(k)
+	tk := kernel.AsTile(k)
 	phi := make([]float64, targets.Len())
-	pool.For(len(phi), workers, func(i int) {
-		phi[i] = at(bk, targets, i, sources)
+	pool.Blocks(len(phi), workers, func(_, lo, hi int) {
+		sumRange(tk, targets, sources, phi, lo, hi)
 	})
 	return phi
 }
 
 // SumAt computes the potentials only at the target indices in sample,
 // returning them in the same order. This is the sampled reference used for
-// error norms at large N.
+// error norms at large N. Tiles gather up to TileWidth sampled targets per
+// dispatch; the indices need not be contiguous.
 func SumAt(k kernel.Kernel, targets *particle.Set, sample []int, sources *particle.Set) []float64 {
-	bk := kernel.AsBlock(k)
+	tk := kernel.AsTile(k)
 	phi := make([]float64, len(sample))
-	pool.For(len(sample), 0, func(i int) {
-		phi[i] = at(bk, targets, sample[i], sources)
+	pool.Blocks(len(sample), 0, func(_, lo, hi int) {
+		var tx, ty, tz, acc [kernel.TileWidth]float64
+		i := lo
+		for ; i+kernel.TileWidth <= hi; i += kernel.TileWidth {
+			for l := 0; l < kernel.TileWidth; l++ {
+				si := sample[i+l]
+				tx[l] = targets.X[si]
+				ty[l] = targets.Y[si]
+				tz[l] = targets.Z[si]
+				acc[l] = 0
+			}
+			tk.EvalTileAccum(&tx, &ty, &tz, sources.X, sources.Y, sources.Z, sources.Q, &acc)
+			for l := 0; l < kernel.TileWidth; l++ {
+				phi[i+l] = acc[l]
+			}
+		}
+		for ; i < hi; i++ {
+			phi[i] = at(tk, targets, sample[i], sources)
+		}
 	})
 	return phi
 }
 
+// sumRange fills phi[lo:hi] with the potentials of targets [lo, hi)
+// against all sources: full tiles through the tiled fast path, the ragged
+// tail through the single-target block path.
+//
+//hot:path
+func sumRange(tk kernel.TileKernel, targets, sources *particle.Set, phi []float64, lo, hi int) {
+	var tx, ty, tz, acc [kernel.TileWidth]float64
+	i := lo
+	for ; i+kernel.TileWidth <= hi; i += kernel.TileWidth {
+		for l := 0; l < kernel.TileWidth; l++ {
+			tx[l] = targets.X[i+l]
+			ty[l] = targets.Y[i+l]
+			tz[l] = targets.Z[i+l]
+			acc[l] = 0
+		}
+		tk.EvalTileAccum(&tx, &ty, &tz, sources.X, sources.Y, sources.Z, sources.Q, &acc)
+		for l := 0; l < kernel.TileWidth; l++ {
+			phi[i+l] = acc[l]
+		}
+	}
+	for ; i < hi; i++ {
+		phi[i] = at(tk, targets, i, sources)
+	}
+}
+
 // at computes the potential at target index i due to all sources through
-// the block fast path.
+// the single-target block fast path.
 //
 //hot:path
 func at(bk kernel.BlockKernel, targets *particle.Set, i int, sources *particle.Set) float64 {

@@ -1,0 +1,516 @@
+package kernel
+
+import "math"
+
+// TileWidth is the number of targets a tile-kernel call evaluates together.
+// It matches the four-lane width of the AVX tile loop; the drivers handle
+// ragged batch edges with single-target block-path epilogues.
+const TileWidth = 4
+
+// TileKernel is the target-tiled block-evaluation fast path: one call
+// evaluates a whole block of sources against a *tile* of TileWidth targets,
+// accumulating each target's charge-weighted potential into phi:
+//
+//	for t := range phi { phi[t] += sum_j G(tile_t, s_j) * q[j] }
+//
+// This is the host-side analogue of the paper's GPU thread-block layout,
+// where a block of targets shares every streamed source/cluster block: the
+// sx/sy/sz/q arrays are loaded once per tile instead of once per target,
+// and the four per-target accumulator chains run independently.
+//
+// Contract: EvalTileAccum must be bit-identical to the per-target reference
+//
+//	for t := 0; t < TileWidth; t++ {
+//		phi[t] += k.EvalBlockAccum(tx[t], ty[t], tz[t], sx, sy, sz, q)
+//	}
+//
+// — each target's inner sum accumulated in source order from zero, and
+// exactly one add of that block total into phi[t] (so tiling never changes
+// how partial sums are grouped across blocks). Implementations may
+// interleave the four chains source-by-source — the chains are independent
+// — but must not reorder any single target's accumulation. All built-in
+// kernels implement TileKernel; every other kernel gets the generic
+// adapter from AsTile, which falls back to the BlockKernel path per
+// target, so kernel.Func and user kernels keep working unchanged.
+type TileKernel interface {
+	BlockKernel
+	EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64)
+}
+
+// F32TileKernel is the single-precision tile fast path. Source coordinates
+// and charges arrive as the float64 storage arrays and are rounded per
+// element; per target the contract mirrors EvalBlockAccumF32:
+//
+//	for t := 0; t < TileWidth; t++ {
+//		phi[t] += k.EvalBlockAccumF32(tx[t], ty[t], tz[t], sx, sy, sz, q)
+//	}
+type F32TileKernel interface {
+	F32BlockKernel
+	EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32)
+}
+
+// AsTile resolves the tile fast path for k: kernels implementing
+// TileKernel (all built-ins) are returned unchanged; any other Kernel —
+// kernel.Func and user-defined kernels — is wrapped in a generic adapter
+// that evaluates the tile one target at a time through the BlockKernel
+// path (itself resolved with AsBlock, so a custom BlockKernel
+// implementation is honored). Resolve once per run, outside the hot loops.
+func AsTile(k Kernel) TileKernel {
+	if tk, ok := k.(TileKernel); ok {
+		return tk
+	}
+	return tileAdapter{AsBlock(k)}
+}
+
+// AsF32Tile resolves the single-precision tile fast path for k, wrapping
+// kernels without a native F32TileKernel implementation in a generic
+// per-target adapter over the F32 block path.
+func AsF32Tile(k F32Kernel) F32TileKernel {
+	if tk, ok := k.(F32TileKernel); ok {
+		return tk
+	}
+	return f32TileAdapter{AsF32Block(k)}
+}
+
+// tileAdapter lifts any BlockKernel to TileKernel with a per-target block
+// loop — the executable form of the TileKernel contract.
+type tileAdapter struct {
+	BlockKernel
+}
+
+// EvalTileAccum implements TileKernel.
+//
+//hot:path
+func (a tileAdapter) EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64) {
+	for t := 0; t < TileWidth; t++ {
+		phi[t] += a.BlockKernel.EvalBlockAccum(tx[t], ty[t], tz[t], sx, sy, sz, q)
+	}
+}
+
+// f32TileAdapter lifts any F32BlockKernel to F32TileKernel.
+type f32TileAdapter struct {
+	F32BlockKernel
+}
+
+// EvalTileAccumF32 implements F32TileKernel.
+//
+//hot:path
+func (a f32TileAdapter) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32) {
+	for t := 0; t < TileWidth; t++ {
+		phi[t] += a.F32BlockKernel.EvalBlockAccumF32(tx[t], ty[t], tz[t], sx, sy, sz, q)
+	}
+}
+
+// --- Hand-specialized fp64 tile loops for the built-in kernels. Each loop
+// nest streams the source arrays once: for every source, all four targets
+// evaluate their kernel expression (repeated verbatim from the scalar
+// Eval, loop-invariant parameter products hoisted) and advance their own
+// scalar accumulator chain, so each chain's bits match the per-target
+// block loop exactly while the sources are loaded once per tile.
+
+// coulombTileLoop, when non-nil, evaluates a whole Coulomb tile with the
+// targets packed across SIMD lanes — per-lane IEEE-correctly-rounded
+// vector sqrt/div, per-lane (hence per-target, in source order) vector
+// accumulation — so the bits match the scalar chains exactly (see
+// tile_amd64.s). The source block is handled whole: broadcasting one
+// source at a time needs no multiple-of-anything prefix. Nil on
+// architectures without an implementation and on x86 CPUs without AVX.
+var coulombTileLoop func(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64)
+
+// EvalTileAccum implements TileKernel.
+//
+//hot:path
+func (Coulomb) EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64) {
+	if coulombTileLoop != nil && len(q) > 0 {
+		coulombTileLoop(tx, ty, tz, sx, sy, sz, q, phi)
+		return
+	}
+	// Hoist the slice bounds: one check here instead of three per source.
+	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
+	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
+	var p0, p1, p2, p3 float64
+	for j := range q {
+		sxj, syj, szj, qj := sx[j], sy[j], sz[j], q[j]
+		dx, dy, dz := tx0-sxj, ty0-syj, tz0-szj
+		r2 := dx*dx + dy*dy + dz*dz
+		g := 0.0
+		if r2 != 0 {
+			g = 1 / math.Sqrt(r2)
+		}
+		p0 += g * qj
+		dx, dy, dz = tx1-sxj, ty1-syj, tz1-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0.0
+		if r2 != 0 {
+			g = 1 / math.Sqrt(r2)
+		}
+		p1 += g * qj
+		dx, dy, dz = tx2-sxj, ty2-syj, tz2-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0.0
+		if r2 != 0 {
+			g = 1 / math.Sqrt(r2)
+		}
+		p2 += g * qj
+		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0.0
+		if r2 != 0 {
+			g = 1 / math.Sqrt(r2)
+		}
+		p3 += g * qj
+	}
+	phi[0] += p0
+	phi[1] += p1
+	phi[2] += p2
+	phi[3] += p3
+}
+
+// EvalTileAccum implements TileKernel.
+//
+//hot:path
+func (k Yukawa) EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64) {
+	// Hoist the slice bounds: one check here instead of three per source.
+	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
+	kappa := k.Kappa
+	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
+	var p0, p1, p2, p3 float64
+	for j := range q {
+		sxj, syj, szj, qj := sx[j], sy[j], sz[j], q[j]
+		dx, dy, dz := tx0-sxj, ty0-syj, tz0-szj
+		r2 := dx*dx + dy*dy + dz*dz
+		g := 0.0
+		if r2 != 0 {
+			r := math.Sqrt(r2)
+			g = math.Exp(-kappa*r) / r
+		}
+		p0 += g * qj
+		dx, dy, dz = tx1-sxj, ty1-syj, tz1-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0.0
+		if r2 != 0 {
+			r := math.Sqrt(r2)
+			g = math.Exp(-kappa*r) / r
+		}
+		p1 += g * qj
+		dx, dy, dz = tx2-sxj, ty2-syj, tz2-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0.0
+		if r2 != 0 {
+			r := math.Sqrt(r2)
+			g = math.Exp(-kappa*r) / r
+		}
+		p2 += g * qj
+		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0.0
+		if r2 != 0 {
+			r := math.Sqrt(r2)
+			g = math.Exp(-kappa*r) / r
+		}
+		p3 += g * qj
+	}
+	phi[0] += p0
+	phi[1] += p1
+	phi[2] += p2
+	phi[3] += p3
+}
+
+// EvalTileAccum implements TileKernel.
+//
+//hot:path
+func (g Gaussian) EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64) {
+	// Hoist the slice bounds: one check here instead of three per source.
+	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
+	s2 := g.Sigma * g.Sigma
+	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
+	var p0, p1, p2, p3 float64
+	for j := range q {
+		sxj, syj, szj, qj := sx[j], sy[j], sz[j], q[j]
+		dx, dy, dz := tx0-sxj, ty0-syj, tz0-szj
+		p0 += math.Exp(-(dx*dx+dy*dy+dz*dz)/s2) * qj
+		dx, dy, dz = tx1-sxj, ty1-syj, tz1-szj
+		p1 += math.Exp(-(dx*dx+dy*dy+dz*dz)/s2) * qj
+		dx, dy, dz = tx2-sxj, ty2-syj, tz2-szj
+		p2 += math.Exp(-(dx*dx+dy*dy+dz*dz)/s2) * qj
+		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
+		p3 += math.Exp(-(dx*dx+dy*dy+dz*dz)/s2) * qj
+	}
+	phi[0] += p0
+	phi[1] += p1
+	phi[2] += p2
+	phi[3] += p3
+}
+
+// EvalTileAccum implements TileKernel.
+//
+//hot:path
+func (m Multiquadric) EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64) {
+	// Hoist the slice bounds: one check here instead of three per source.
+	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
+	c2 := m.C * m.C
+	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
+	var p0, p1, p2, p3 float64
+	for j := range q {
+		sxj, syj, szj, qj := sx[j], sy[j], sz[j], q[j]
+		dx, dy, dz := tx0-sxj, ty0-syj, tz0-szj
+		p0 += math.Sqrt(dx*dx+dy*dy+dz*dz+c2) * qj
+		dx, dy, dz = tx1-sxj, ty1-syj, tz1-szj
+		p1 += math.Sqrt(dx*dx+dy*dy+dz*dz+c2) * qj
+		dx, dy, dz = tx2-sxj, ty2-syj, tz2-szj
+		p2 += math.Sqrt(dx*dx+dy*dy+dz*dz+c2) * qj
+		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
+		p3 += math.Sqrt(dx*dx+dy*dy+dz*dz+c2) * qj
+	}
+	phi[0] += p0
+	phi[1] += p1
+	phi[2] += p2
+	phi[3] += p3
+}
+
+// EvalTileAccum implements TileKernel.
+//
+//hot:path
+func (r RegularizedCoulomb) EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64) {
+	// Hoist the slice bounds: one check here instead of three per source.
+	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
+	e2 := r.Eps * r.Eps
+	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
+	var p0, p1, p2, p3 float64
+	for j := range q {
+		sxj, syj, szj, qj := sx[j], sy[j], sz[j], q[j]
+		dx, dy, dz := tx0-sxj, ty0-syj, tz0-szj
+		p0 += 1 / math.Sqrt(dx*dx+dy*dy+dz*dz+e2) * qj
+		dx, dy, dz = tx1-sxj, ty1-syj, tz1-szj
+		p1 += 1 / math.Sqrt(dx*dx+dy*dy+dz*dz+e2) * qj
+		dx, dy, dz = tx2-sxj, ty2-syj, tz2-szj
+		p2 += 1 / math.Sqrt(dx*dx+dy*dy+dz*dz+e2) * qj
+		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
+		p3 += 1 / math.Sqrt(dx*dx+dy*dy+dz*dz+e2) * qj
+	}
+	phi[0] += p0
+	phi[1] += p1
+	phi[2] += p2
+	phi[3] += p3
+}
+
+// EvalTileAccum implements TileKernel.
+//
+//hot:path
+func (ip InversePower) EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64) {
+	// Hoist the slice bounds: one check here instead of three per source.
+	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
+	e := -ip.P / 2
+	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
+	var p0, p1, p2, p3 float64
+	for j := range q {
+		sxj, syj, szj, qj := sx[j], sy[j], sz[j], q[j]
+		dx, dy, dz := tx0-sxj, ty0-syj, tz0-szj
+		r2 := dx*dx + dy*dy + dz*dz
+		g := 0.0
+		if r2 != 0 {
+			g = math.Pow(r2, e)
+		}
+		p0 += g * qj
+		dx, dy, dz = tx1-sxj, ty1-syj, tz1-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0.0
+		if r2 != 0 {
+			g = math.Pow(r2, e)
+		}
+		p1 += g * qj
+		dx, dy, dz = tx2-sxj, ty2-syj, tz2-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0.0
+		if r2 != 0 {
+			g = math.Pow(r2, e)
+		}
+		p2 += g * qj
+		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0.0
+		if r2 != 0 {
+			g = math.Pow(r2, e)
+		}
+		p3 += g * qj
+	}
+	phi[0] += p0
+	phi[1] += p1
+	phi[2] += p2
+	phi[3] += p3
+}
+
+// --- Hand-specialized fp32 tile loops for the built-in F32 kernels.
+
+// EvalTileAccumF32 implements F32TileKernel.
+//
+//hot:path
+func (Coulomb) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32) {
+	// Hoist the slice bounds: one check here instead of three per source.
+	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
+	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
+	var p0, p1, p2, p3 float32
+	for j := range q {
+		sxj, syj, szj := float32(sx[j]), float32(sy[j]), float32(sz[j])
+		qj := float32(q[j])
+		dx, dy, dz := tx0-sxj, ty0-syj, tz0-szj
+		r2 := dx*dx + dy*dy + dz*dz
+		var g float32
+		if r2 != 0 {
+			g = 1 / float32(math.Sqrt(float64(r2)))
+		}
+		p0 += g * qj
+		dx, dy, dz = tx1-sxj, ty1-syj, tz1-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			g = 1 / float32(math.Sqrt(float64(r2)))
+		}
+		p1 += g * qj
+		dx, dy, dz = tx2-sxj, ty2-syj, tz2-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			g = 1 / float32(math.Sqrt(float64(r2)))
+		}
+		p2 += g * qj
+		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			g = 1 / float32(math.Sqrt(float64(r2)))
+		}
+		p3 += g * qj
+	}
+	phi[0] += p0
+	phi[1] += p1
+	phi[2] += p2
+	phi[3] += p3
+}
+
+// EvalTileAccumF32 implements F32TileKernel.
+//
+//hot:path
+func (k Yukawa) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32) {
+	// Hoist the slice bounds: one check here instead of three per source.
+	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
+	kappa := float32(k.Kappa)
+	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
+	var p0, p1, p2, p3 float32
+	for j := range q {
+		sxj, syj, szj := float32(sx[j]), float32(sy[j]), float32(sz[j])
+		qj := float32(q[j])
+		dx, dy, dz := tx0-sxj, ty0-syj, tz0-szj
+		r2 := dx*dx + dy*dy + dz*dz
+		var g float32
+		if r2 != 0 {
+			r := float32(math.Sqrt(float64(r2)))
+			g = float32(math.Exp(float64(-kappa*r))) / r
+		}
+		p0 += g * qj
+		dx, dy, dz = tx1-sxj, ty1-syj, tz1-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			r := float32(math.Sqrt(float64(r2)))
+			g = float32(math.Exp(float64(-kappa*r))) / r
+		}
+		p1 += g * qj
+		dx, dy, dz = tx2-sxj, ty2-syj, tz2-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			r := float32(math.Sqrt(float64(r2)))
+			g = float32(math.Exp(float64(-kappa*r))) / r
+		}
+		p2 += g * qj
+		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			r := float32(math.Sqrt(float64(r2)))
+			g = float32(math.Exp(float64(-kappa*r))) / r
+		}
+		p3 += g * qj
+	}
+	phi[0] += p0
+	phi[1] += p1
+	phi[2] += p2
+	phi[3] += p3
+}
+
+// EvalTileAccumF32 implements F32TileKernel.
+//
+//hot:path
+func (g Gaussian) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32) {
+	// Hoist the slice bounds: one check here instead of three per source.
+	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
+	s := float32(g.Sigma)
+	s2 := s * s
+	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
+	var p0, p1, p2, p3 float32
+	for j := range q {
+		sxj, syj, szj := float32(sx[j]), float32(sy[j]), float32(sz[j])
+		qj := float32(q[j])
+		dx, dy, dz := tx0-sxj, ty0-syj, tz0-szj
+		p0 += float32(math.Exp(float64(-(dx*dx+dy*dy+dz*dz)/s2))) * qj
+		dx, dy, dz = tx1-sxj, ty1-syj, tz1-szj
+		p1 += float32(math.Exp(float64(-(dx*dx+dy*dy+dz*dz)/s2))) * qj
+		dx, dy, dz = tx2-sxj, ty2-syj, tz2-szj
+		p2 += float32(math.Exp(float64(-(dx*dx+dy*dy+dz*dz)/s2))) * qj
+		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
+		p3 += float32(math.Exp(float64(-(dx*dx+dy*dy+dz*dz)/s2))) * qj
+	}
+	phi[0] += p0
+	phi[1] += p1
+	phi[2] += p2
+	phi[3] += p3
+}
+
+// EvalTileAccumF32 implements F32TileKernel.
+//
+//hot:path
+func (r RegularizedCoulomb) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32) {
+	// Hoist the slice bounds: one check here instead of three per source.
+	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
+	e := float32(r.Eps)
+	e2 := e * e
+	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
+	var p0, p1, p2, p3 float32
+	for j := range q {
+		sxj, syj, szj := float32(sx[j]), float32(sy[j]), float32(sz[j])
+		qj := float32(q[j])
+		dx, dy, dz := tx0-sxj, ty0-syj, tz0-szj
+		p0 += 1 / float32(math.Sqrt(float64(dx*dx+dy*dy+dz*dz+e2))) * qj
+		dx, dy, dz = tx1-sxj, ty1-syj, tz1-szj
+		p1 += 1 / float32(math.Sqrt(float64(dx*dx+dy*dy+dz*dz+e2))) * qj
+		dx, dy, dz = tx2-sxj, ty2-syj, tz2-szj
+		p2 += 1 / float32(math.Sqrt(float64(dx*dx+dy*dy+dz*dz+e2))) * qj
+		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
+		p3 += 1 / float32(math.Sqrt(float64(dx*dx+dy*dy+dz*dz+e2))) * qj
+	}
+	phi[0] += p0
+	phi[1] += p1
+	phi[2] += p2
+	phi[3] += p3
+}

@@ -1,0 +1,36 @@
+//go:build amd64
+
+package kernel
+
+// coulombTileAVX evaluates a full Coulomb source block against a 4-target
+// tile with the targets packed across YMM lanes (see tile_amd64.s). n must
+// be positive; there is no alignment or multiple-of-anything requirement
+// because each iteration broadcasts a single source to all four lanes.
+//
+//go:noescape
+func coulombTileAVX(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q *float64, n int, phi *[TileWidth]float64)
+
+// coulombTileAVX512 is the EVEX variant: same tile layout, but the
+// reciprocal runs as a correctly-rounded Newton–Raphson sequence on the
+// FMA ports, off the divide/sqrt unit that bounds the AVX loop. Requires
+// AVX-512 F+VL. See tile_amd64.s.
+//
+//go:noescape
+func coulombTileAVX512(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q *float64, n int, phi *[TileWidth]float64)
+
+// cpuHasAVX512VL reports AVX512F+VL support with full OS state saving.
+// Implemented in tile_amd64.s.
+func cpuHasAVX512VL() bool
+
+func init() {
+	if !cpuHasAVX() {
+		return
+	}
+	tile := coulombTileAVX
+	if cpuHasAVX512VL() {
+		tile = coulombTileAVX512
+	}
+	coulombTileLoop = func(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64) {
+		tile(tx, ty, tz, &sx[0], &sy[0], &sz[0], &q[0], len(q), phi)
+	}
+}

@@ -1,0 +1,251 @@
+#include "textflag.h"
+
+// +Inf, for the 1/sqrt(overflowed r2) = +0 lanes of the AVX-512 path.
+DATA ·avxInf+0(SB)/8, $0x7ff0000000000000
+GLOBL ·avxInf(SB), RODATA|NOPTR, $8
+
+// func cpuHasAVX512VL() bool
+//
+// CPUID leaf 0 must report leaf 7; leaf 7 subleaf 0: EBX bit 16 is
+// AVX512F, bit 31 is AVX512VL (EVEX-encoded 128/256-bit forms).
+// XGETBV(0) must show the OS saving XMM, YMM, opmask, ZMM_Hi256 and
+// Hi16_ZMM state (XCR0 bits 1,2,5,6,7) before any EVEX instruction or
+// k-register may be used. cpuHasAVX (block_amd64.s) is checked
+// separately by the caller for the OSXSAVE/AVX baseline.
+TEXT ·cpuHasAVX512VL(SB), NOSPLIT, $0-1
+	XORL AX, AX
+	CPUID
+	CMPL AX, $7
+	JLT  novl
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<16 | 1<<31), BX
+	CMPL BX, $(1<<16 | 1<<31)
+	JNE  novl
+	XORL CX, CX
+	XGETBV
+	ANDL $0xe6, AX
+	CMPL AX, $0xe6
+	JNE  novl
+	MOVB $1, ret+0(FP)
+	RET
+
+novl:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func coulombTileAVX512(tx, ty, tz *[4]float64, sx, sy, sz, q *float64, n int, phi *[4]float64)
+//
+// Coulomb source block against a 4-target tile, one target per YMM lane,
+// with the reciprocal computed on the FMA ports instead of the divider.
+// The tile loops are divider-throughput-bound on this generation of x86
+// (VSQRTPD+VDIVPD ymm occupy the one divide/sqrt unit for ~13-16 cycles
+// combined), so the division is replaced by the classic Newton–Raphson /
+// Markstein sequence — the same construction GPUs use for IEEE fp64
+// division in software, which keeps the result CORRECTLY ROUNDED and
+// therefore bit-identical to VDIVPD:
+//
+//	y0 = rcp14(s)                         |rel err| <= 2^-14
+//	y1 = y0 + y0*(1 - s*y0)  (2 FMAs)     err ~ 2^-28
+//	y2 = y1 + y1*(1 - s*y1)  (2 FMAs)     err < 1 ulp (faithful)
+//	y3 = y2 + y2*(1 - s*y2)  (2 FMAs)     == RN(1/s) exactly
+//
+// Each 1 - s*y is one VFNMADD (exact in the final step, by the standard
+// cancellation lemma once y is faithful) and each update one VFMADD;
+// Markstein's round-off theorem gives correct rounding of the last
+// iterate for every s with normal 1/s. s = sqrt(r2) of a positive finite
+// r2 lies in [2^-537, 2^512], so 1/s is always normal and the theorem
+// applies on every unmasked lane; TestCoulombTileExtremeMagnitudes and
+// FuzzTileAccum pin the equality empirically across the magnitude range.
+// Edge lanes are handled with k-masks, matching the scalar code's
+// branches: r2 == 0 lanes (self-interaction) and s == +Inf lanes
+// (overflowed r2, where 1/Inf = +0) force g*q to +0 via zero-masking;
+// NaN coordinates keep the lane valid so the NaN propagates like the
+// scalar path (NEQ_UQ compares are unordered-true). Zeroing the product
+// instead of g alone cannot change the accumulator bits: the chain
+// starts at +0 and x + (+0) == x + (-0) for every x that is not -0, and
+// no partial sum here can be -0.
+//
+// Per-lane accumulation order and the single phi[t] += add match
+// coulombTileAVX below; bit-identity to the scalar loop in tile.go holds
+// for the same reasons, with VDIVPD's role taken by the proven-equal NR
+// reciprocal. The loop is deliberately one source per iteration and
+// 256-bit throughout: the iteration's ~18 FP uops on two FMA ports (~9
+// cycles) sit just above the 7-cycle VSQRTPD floor, and measured
+// variants — a two-source unroll on disjoint YMM chains, and a packed
+// two-sources-per-ZMM form — were no faster or slower here (the ZMM
+// form progressively downclocks under sustained 512-bit sqrt+FMA load).
+// n must be positive; sources are broadcast one at a time, so there is
+// no alignment or multiple-of-anything requirement.
+TEXT ·coulombTileAVX512(SB), NOSPLIT, $0-72
+	MOVQ         tx+0(FP), AX
+	VMOVUPD      (AX), Y0          // tx[0:4]
+	MOVQ         ty+8(FP), AX
+	VMOVUPD      (AX), Y1          // ty[0:4]
+	MOVQ         tz+16(FP), AX
+	VMOVUPD      (AX), Y2          // tz[0:4]
+	VBROADCASTSD ·avxOne(SB), Y4
+	VBROADCASTSD ·avxInf(SB), Y14
+	MOVQ         sx+24(FP), SI
+	MOVQ         sy+32(FP), DI
+	MOVQ         sz+40(FP), R8
+	MOVQ         q+48(FP), R9
+	MOVQ         n+56(FP), CX
+	XORQ         DX, DX            // j; indexed loads keep the integer
+	VXORPD       Y3, Y3, Y3        // per-lane block accumulators ...
+	VXORPD       Y5, Y5, Y5        // ... bookkeeping off the FP ports
+
+avx512loop:
+	VBROADCASTSD (SI)(DX*8), Y6    // sx[j] in every lane
+	VBROADCASTSD (DI)(DX*8), Y7    // sy[j]
+	VBROADCASTSD (R8)(DX*8), Y8    // sz[j]
+	VSUBPD       Y6, Y0, Y6        // dx = tx - sx[j]
+	VSUBPD       Y7, Y1, Y7        // dy = ty - sy[j]
+	VSUBPD       Y8, Y2, Y8        // dz = tz - sz[j]
+	VMULPD       Y6, Y6, Y6        // dx*dx
+	VMULPD       Y7, Y7, Y7        // dy*dy
+	VMULPD       Y8, Y8, Y8        // dz*dz
+	VADDPD       Y7, Y6, Y6        // dx*dx + dy*dy
+	VADDPD       Y8, Y6, Y6        // r2 = (dx*dx + dy*dy) + dz*dz
+	VCMPPD       $4, Y5, Y6, K1    // valid = (r2 != 0), NEQ_UQ
+	VSQRTPD      Y6, Y9            // s = sqrt(r2)
+	VCMPPD       $4, Y14, Y9, K2   // finite = (s != +Inf), NEQ_UQ
+	KANDW        K2, K1, K1
+	VRCP14PD     Y9, Y10           // y0 ~ 1/s
+	VMOVAPD      Y4, Y11
+	VFNMADD231PD Y10, Y9, Y11      // e0 = 1 - s*y0
+	VFMADD213PD  Y10, Y10, Y11     // y1 = y0 + y0*e0
+	VMOVAPD      Y4, Y12
+	VFNMADD231PD Y11, Y9, Y12      // e1 = 1 - s*y1
+	VFMADD213PD  Y11, Y11, Y12     // y2 = y1 + y1*e1
+	VMOVAPD      Y4, Y13
+	VFNMADD231PD Y12, Y9, Y13      // e2 = 1 - s*y2, exact
+	VFMADD213PD  Y12, Y12, Y13     // g = y2 + y2*e2 = RN(1/s)
+	VBROADCASTSD (R9)(DX*8), Y9    // q[j]
+	VMULPD.Z     Y9, Y13, K1, Y10  // g*q[j]; +0 on masked lanes
+	VADDPD       Y10, Y3, Y3       // p[t] += g*q[j], in source order per lane
+
+	INCQ DX
+	CMPQ DX, CX
+	JNE  avx512loop
+
+	// phi[t] += p[t]: one per-lane add of the block total.
+	MOVQ    phi+64(FP), AX
+	VMOVUPD (AX), Y6
+	VADDPD  Y3, Y6, Y6
+	VMOVUPD Y6, (AX)
+	VZEROUPPER
+	RET
+
+// func coulombTileAVX(tx, ty, tz *[4]float64, sx, sy, sz, q *float64, n int, phi *[4]float64)
+//
+// Coulomb source block against a 4-target tile, one target per YMM lane.
+// Each iteration broadcasts one source to all lanes, so every lane t runs
+// the exact scalar expression sequence for its target — dx = tx[t]-sx[j],
+// r2 = (dx*dx + dy*dy) + dz*dz, g = 1/sqrt(r2) (zeroed by mask when
+// r2 == 0), p += g*q[j] — with IEEE-correctly-rounded per-lane twins of
+// the scalar ops (VSUBPD/VMULPD/VADDPD in the same expression order,
+// VSQRTPD for math.Sqrt, VDIVPD for the reciprocal — never FMA). Per-lane
+// VADDPD accumulation visits sources in j order, so each target's chain
+// is bit-identical to the scalar loop in tile.go; unlike the single-target
+// block loop in block_amd64.s there is no serial cross-lane VADDSD chain
+// left to bound the iteration, only the divider. The final phi update is
+// one per-lane add of the block total, matching the phi[t] += p contract.
+TEXT ·coulombTileAVX(SB), NOSPLIT, $0-72
+	MOVQ         tx+0(FP), AX
+	VMOVUPD      (AX), Y0          // tx[0:4]
+	MOVQ         ty+8(FP), AX
+	VMOVUPD      (AX), Y1          // ty[0:4]
+	MOVQ         tz+16(FP), AX
+	VMOVUPD      (AX), Y2          // tz[0:4]
+	VBROADCASTSD ·avxOne(SB), Y4
+	MOVQ         sx+24(FP), SI
+	MOVQ         sy+32(FP), DI
+	MOVQ         sz+40(FP), R8
+	MOVQ         q+48(FP), R9
+	MOVQ         n+56(FP), CX
+	VXORPD       Y3, Y3, Y3        // per-lane block accumulators
+	VXORPD       Y5, Y5, Y5        // zeros for the r2 == 0 mask
+
+	SUBQ $1, CX
+	JZ   tail                      // n == 1: single-source epilogue only
+
+loop2:
+	// Two sources per iteration, fully independent register chains, so
+	// the sqrt/div pipeline always has a second problem in flight. The
+	// two accumulator adds stay in j, j+1 order per lane.
+	VBROADCASTSD (SI), Y6          // sx[j] in every lane
+	VBROADCASTSD (DI), Y7          // sy[j]
+	VBROADCASTSD (R8), Y8          // sz[j]
+	VBROADCASTSD 8(SI), Y10        // sx[j+1]
+	VBROADCASTSD 8(DI), Y11        // sy[j+1]
+	VBROADCASTSD 8(R8), Y12        // sz[j+1]
+	VSUBPD       Y6, Y0, Y6        // dx = tx - sx[j]
+	VSUBPD       Y7, Y1, Y7        // dy = ty - sy[j]
+	VSUBPD       Y8, Y2, Y8        // dz = tz - sz[j]
+	VSUBPD       Y10, Y0, Y10
+	VSUBPD       Y11, Y1, Y11
+	VSUBPD       Y12, Y2, Y12
+	VMULPD       Y6, Y6, Y6        // dx*dx
+	VMULPD       Y7, Y7, Y7        // dy*dy
+	VMULPD       Y8, Y8, Y8        // dz*dz
+	VMULPD       Y10, Y10, Y10
+	VMULPD       Y11, Y11, Y11
+	VMULPD       Y12, Y12, Y12
+	VADDPD       Y7, Y6, Y6        // dx*dx + dy*dy
+	VADDPD       Y8, Y6, Y6        // r2 = (dx*dx + dy*dy) + dz*dz
+	VADDPD       Y11, Y10, Y10
+	VADDPD       Y12, Y10, Y10
+	VCMPPD       $0, Y5, Y6, Y8    // mask = (r2 == 0), EQ_OQ
+	VSQRTPD      Y6, Y7            // sqrt(r2)
+	VCMPPD       $0, Y5, Y10, Y12
+	VSQRTPD      Y10, Y11
+	VDIVPD       Y7, Y4, Y7        // g = 1 / sqrt(r2)
+	VDIVPD       Y11, Y4, Y11
+	VANDNPD      Y7, Y8, Y7        // g = 0 on self-interaction lanes
+	VANDNPD      Y11, Y12, Y11
+	VBROADCASTSD (R9), Y9          // q[j]
+	VMULPD       Y9, Y7, Y7        // g * q[j]
+	VADDPD       Y7, Y3, Y3        // p[t] += g*q[j]
+	VBROADCASTSD 8(R9), Y13        // q[j+1]
+	VMULPD       Y13, Y11, Y11
+	VADDPD       Y11, Y3, Y3       // p[t] += g*q[j+1], after source j
+
+	ADDQ $16, SI
+	ADDQ $16, DI
+	ADDQ $16, R8
+	ADDQ $16, R9
+	SUBQ $2, CX
+	JG   loop2
+	JL   done                      // even n: no source left
+
+tail:
+	VBROADCASTSD (SI), Y6          // last source when n is odd
+	VBROADCASTSD (DI), Y7
+	VBROADCASTSD (R8), Y8
+	VSUBPD       Y6, Y0, Y6
+	VSUBPD       Y7, Y1, Y7
+	VSUBPD       Y8, Y2, Y8
+	VMULPD       Y6, Y6, Y6
+	VMULPD       Y7, Y7, Y7
+	VMULPD       Y8, Y8, Y8
+	VADDPD       Y7, Y6, Y6
+	VADDPD       Y8, Y6, Y6
+	VCMPPD       $0, Y5, Y6, Y8
+	VSQRTPD      Y6, Y7
+	VDIVPD       Y7, Y4, Y7
+	VANDNPD      Y7, Y8, Y7
+	VBROADCASTSD (R9), Y9
+	VMULPD       Y9, Y7, Y7
+	VADDPD       Y7, Y3, Y3
+
+done:
+
+	// phi[t] += p[t]: one per-lane add of the block total.
+	MOVQ    phi+64(FP), AX
+	VMOVUPD (AX), Y6
+	VADDPD  Y3, Y6, Y6
+	VMOVUPD Y6, (AX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,296 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tileTestSizes covers every residue mod TileWidth at small and moderate
+// block lengths, so the specialized loops, the AVX tile (which handles any
+// n), and the adapters all see ragged sizes.
+var tileTestSizes = []int{1, 2, 3, 4, 5, 6, 7, 8, 31, 32, 33, 34, 63, 64, 65, 66, 127, 128, 129, 130}
+
+// tileTestTargets builds a random 4-target tile.
+func tileTestTargets(rng *rand.Rand) (tx, ty, tz [TileWidth]float64) {
+	for t := 0; t < TileWidth; t++ {
+		tx[t] = rng.Float64()*2 - 1
+		ty[t] = rng.Float64()*2 - 1
+		tz[t] = rng.Float64()*2 - 1
+	}
+	return
+}
+
+// TestTileKernelBitIdentical verifies the TileKernel contract for every
+// built-in kernel at tile-ragged sizes: the specialized tile loop, the
+// generic adapter around the same kernel (forced through kernel.Func so
+// AsTile cannot return the specialization), the per-target block path, and
+// the scalar reference all produce the same bits — including the single
+// phi[t] += add into a preloaded, nonzero phi tile.
+func TestTileKernelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, k := range blockTestKernels() {
+		t.Run(k.Name(), func(t *testing.T) {
+			tk := AsTile(k)
+			if _, ok := k.(TileKernel); !ok {
+				t.Fatalf("built-in kernel %s does not implement TileKernel", k.Name())
+			}
+			adapter := AsTile(Func{KernelName: k.Name() + "-func", F: k.Eval})
+			bk := AsBlock(k)
+			for _, n := range tileTestSizes {
+				tx, ty, tz := tileTestTargets(rng)
+				// The self term sits on target 1, so one lane exercises
+				// the r2 == 0 branch while the others stay regular.
+				sx, sy, sz, q := blockTestSources(rng, n, tx[1], ty[1], tz[1])
+
+				var phi0 [TileWidth]float64
+				for t := range phi0 {
+					phi0[t] = rng.Float64()*2 - 1
+				}
+				want := phi0
+				for t := 0; t < TileWidth; t++ {
+					want[t] += bk.EvalBlockAccum(tx[t], ty[t], tz[t], sx, sy, sz, q)
+				}
+				scalar := phi0
+				for t := 0; t < TileWidth; t++ {
+					scalar[t] += scalarAccum(k, tx[t], ty[t], tz[t], sx, sy, sz, q)
+				}
+				if want != scalar {
+					t.Fatalf("n=%d: block reference %v != scalar reference %v", n, want, scalar)
+				}
+
+				got := phi0
+				tk.EvalTileAccum(&tx, &ty, &tz, sx, sy, sz, q, &got)
+				if got != want {
+					t.Fatalf("n=%d: specialized tile %v != per-target block %v", n, got, want)
+				}
+				got = phi0
+				adapter.EvalTileAccum(&tx, &ty, &tz, sx, sy, sz, q, &got)
+				if got != want {
+					t.Fatalf("n=%d: adapter tile %v != per-target block %v", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestF32TileKernelBitIdentical is the fp32 analogue for the built-in
+// kernels that implement F32Kernel.
+func TestF32TileKernelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, k := range blockTestKernels() {
+		f32, ok := k.(F32Kernel)
+		if !ok {
+			continue
+		}
+		t.Run(k.Name(), func(t *testing.T) {
+			tk := AsF32Tile(f32)
+			if _, ok := f32.(F32TileKernel); !ok {
+				t.Fatalf("built-in F32 kernel %s does not implement F32TileKernel", k.Name())
+			}
+			adapter := f32TileAdapter{f32BlockAdapter{f32}}
+			bk := AsF32Block(f32)
+			for _, n := range tileTestSizes {
+				var tx, ty, tz [TileWidth]float32
+				for t := 0; t < TileWidth; t++ {
+					tx[t] = float32(rng.Float64()*2 - 1)
+					ty[t] = float32(rng.Float64()*2 - 1)
+					tz[t] = float32(rng.Float64()*2 - 1)
+				}
+				sx, sy, sz, q := blockTestSources(rng, n, float64(tx[1]), float64(ty[1]), float64(tz[1]))
+
+				var phi0 [TileWidth]float32
+				for t := range phi0 {
+					phi0[t] = float32(rng.Float64()*2 - 1)
+				}
+				want := phi0
+				for t := 0; t < TileWidth; t++ {
+					want[t] += bk.EvalBlockAccumF32(tx[t], ty[t], tz[t], sx, sy, sz, q)
+				}
+				scalar := phi0
+				for t := 0; t < TileWidth; t++ {
+					scalar[t] += scalarAccumF32(f32, tx[t], ty[t], tz[t], sx, sy, sz, q)
+				}
+				if want != scalar {
+					t.Fatalf("n=%d: fp32 block reference %v != scalar reference %v", n, want, scalar)
+				}
+
+				got := phi0
+				tk.EvalTileAccumF32(&tx, &ty, &tz, sx, sy, sz, q, &got)
+				if got != want {
+					t.Fatalf("n=%d: specialized fp32 tile %v != per-target block %v", n, got, want)
+				}
+				got = phi0
+				adapter.EvalTileAccumF32(&tx, &ty, &tz, sx, sy, sz, q, &got)
+				if got != want {
+					t.Fatalf("n=%d: fp32 adapter tile %v != per-target block %v", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAsTileResolution pins the dispatch rules: built-ins resolve to
+// themselves, foreign kernels to the generic adapter over their block
+// path, and resolving an adapter's result again is a no-op.
+func TestAsTileResolution(t *testing.T) {
+	for _, k := range blockTestKernels() {
+		if tk := AsTile(k); tk != k {
+			t.Errorf("AsTile(%s) wrapped a kernel that already implements TileKernel", k.Name())
+		}
+	}
+	f := Func{KernelName: "custom", F: Coulomb{}.Eval}
+	tk := AsTile(f)
+	ad, ok := tk.(tileAdapter)
+	if !ok {
+		t.Fatalf("AsTile(Func) = %T, want tileAdapter", tk)
+	}
+	if _, ok := ad.BlockKernel.(blockAdapter); !ok {
+		t.Errorf("AsTile(Func) wraps %T, want the blockAdapter fallback", ad.BlockKernel)
+	}
+	if again, ok := AsTile(tk).(tileAdapter); !ok {
+		t.Errorf("AsTile(AsTile(k)) lost the adapter")
+	} else if _, double := again.BlockKernel.(tileAdapter); double {
+		t.Errorf("AsTile(AsTile(k)) double-wrapped the adapter")
+	}
+	if tk.Name() != "custom" {
+		t.Errorf("adapter name = %q, want custom", tk.Name())
+	}
+}
+
+// TestTileKernelEmpty verifies the degenerate empty block leaves the
+// accumulated values unchanged (phi[t] += 0 at most).
+func TestTileKernelEmpty(t *testing.T) {
+	tx := [TileWidth]float64{0.1, 0.2, 0.3, 0.4}
+	for _, k := range blockTestKernels() {
+		phi := [TileWidth]float64{1, 2, 3, 4}
+		AsTile(k).EvalTileAccum(&tx, &tx, &tx, nil, nil, nil, nil, &phi)
+		if phi != [TileWidth]float64{1, 2, 3, 4} {
+			t.Errorf("%s: empty block changed phi to %v", k.Name(), phi)
+		}
+	}
+}
+
+// TestCoulombTileExtremeMagnitudes sweeps coordinate scales across the
+// full binary exponent range, so s = sqrt(r2) runs from the bottom of its
+// domain (r2 subnormal) to +Inf overflow. This is the empirical pin for
+// the AVX-512 tile's Newton–Raphson reciprocal being correctly rounded —
+// hence bit-identical to the scalar 1/math.Sqrt — at every magnitude, and
+// for the masked s == +Inf lanes matching the scalar 1/Inf = +0.
+func TestCoulombTileExtremeMagnitudes(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	tk := AsTile(Coulomb{})
+	bk := AsBlock(Coulomb{})
+	trials := 40
+	if testing.Short() {
+		trials = 4
+	}
+	for scale := -538.0; scale <= 520; scale += 1 {
+		mag := math.Ldexp(1, int(scale))
+		for trial := 0; trial < trials; trial++ {
+			n := 1 + rng.Intn(9)
+			var tx, ty, tz [TileWidth]float64
+			for i := range tx {
+				tx[i] = (rng.Float64()*2 - 1) * mag
+				ty[i] = (rng.Float64()*2 - 1) * mag
+				tz[i] = (rng.Float64()*2 - 1) * mag
+			}
+			sx := make([]float64, n)
+			sy := make([]float64, n)
+			sz := make([]float64, n)
+			q := make([]float64, n)
+			for j := range sx {
+				sx[j] = (rng.Float64()*2 - 1) * mag
+				sy[j] = (rng.Float64()*2 - 1) * mag
+				sz[j] = (rng.Float64()*2 - 1) * mag
+				q[j] = rng.Float64()*2 - 1
+			}
+			sx[n/2], sy[n/2], sz[n/2] = tx[0], ty[0], tz[0] // self term
+
+			var want, got [TileWidth]float64
+			for i := 0; i < TileWidth; i++ {
+				want[i] = bk.EvalBlockAccum(tx[i], ty[i], tz[i], sx, sy, sz, q)
+			}
+			tk.EvalTileAccum(&tx, &ty, &tz, sx, sy, sz, q, &got)
+			if got != want {
+				t.Fatalf("scale 2^%g n=%d: tile %v != block %v", scale, n, got, want)
+			}
+		}
+	}
+}
+
+// FuzzTileAccum cross-checks the specialized tile loops (including the
+// AVX Coulomb tile on capable hardware) against the per-target scalar
+// reference on randomized blocks for every built-in kernel, fp64 and fp32.
+func FuzzTileAccum(f *testing.F) {
+	f.Add(int64(1), uint(4))
+	f.Add(int64(2), uint(7))
+	f.Add(int64(3), uint(129))
+	f.Fuzz(func(t *testing.T, seed int64, size uint) {
+		n := int(size%256) + 1
+		rng := rand.New(rand.NewSource(seed))
+		tx, ty, tz := tileTestTargets(rng)
+		sx, sy, sz, q := blockTestSources(rng, n, tx[1], ty[1], tz[1])
+		var phi0 [TileWidth]float64
+		for i := range phi0 {
+			phi0[i] = rng.Float64()*2 - 1
+		}
+		for _, k := range blockTestKernels() {
+			want := phi0
+			for i := 0; i < TileWidth; i++ {
+				want[i] += scalarAccum(k, tx[i], ty[i], tz[i], sx, sy, sz, q)
+			}
+			got := phi0
+			AsTile(k).EvalTileAccum(&tx, &ty, &tz, sx, sy, sz, q, &got)
+			if got != want {
+				t.Fatalf("%s n=%d: tile %v != scalar %v", k.Name(), n, got, want)
+			}
+			if f32, ok := k.(F32Kernel); ok {
+				var ftx, fty, ftz [TileWidth]float32
+				for i := 0; i < TileWidth; i++ {
+					ftx[i], fty[i], ftz[i] = float32(tx[i]), float32(ty[i]), float32(tz[i])
+				}
+				var fwant, fgot [TileWidth]float32
+				for i := range fwant {
+					fwant[i] = float32(phi0[i])
+				}
+				fgot = fwant
+				for i := 0; i < TileWidth; i++ {
+					fwant[i] += scalarAccumF32(f32, ftx[i], fty[i], ftz[i], sx, sy, sz, q)
+				}
+				AsF32Tile(f32).EvalTileAccumF32(&ftx, &fty, &ftz, sx, sy, sz, q, &fgot)
+				if fgot != fwant {
+					t.Fatalf("%s n=%d: fp32 tile %v != scalar %v", k.Name(), n, fgot, fwant)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkEvalTile compares one tile call against four single-target
+// block calls over the same 2000-source Coulomb block — the amortization
+// the tile path exists to provide.
+func BenchmarkEvalTile(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 2000
+	tx, ty, tz := tileTestTargets(rng)
+	sx, sy, sz, q := blockTestSources(rng, n, tx[1], ty[1], tz[1])
+	b.Run("coulomb/block-x4", func(b *testing.B) {
+		bk := AsBlock(Coulomb{})
+		var phi [TileWidth]float64
+		b.SetBytes(4 * n * 8)
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < TileWidth; t++ {
+				phi[t] += bk.EvalBlockAccum(tx[t], ty[t], tz[t], sx, sy, sz, q)
+			}
+		}
+	})
+	b.Run("coulomb/tile", func(b *testing.B) {
+		tk := AsTile(Coulomb{})
+		var phi [TileWidth]float64
+		b.SetBytes(4 * n * 8)
+		for i := 0; i < b.N; i++ {
+			tk.EvalTileAccum(&tx, &ty, &tz, sx, sy, sz, q, &phi)
+		}
+	})
+}

@@ -1,27 +1,34 @@
 #!/bin/sh
 # scripts/bench.sh — run the performance benchmarks tracked by this repo
 # (block-kernel micro-bench, list construction, charge pass, cluster-grid
-# layout, tree/batch build, end-to-end CPU treecode) and record the
-# results.
+# layout, tree/batch build, end-to-end CPU and simulated-device treecode,
+# compute-phase-only evaluation) and record the results.
 #
 # Usage:
-#   scripts/bench.sh               # record current tree -> BENCH_PR4.current.txt
-#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR4.baseline.txt
+#   scripts/bench.sh               # record current tree -> BENCH_PR5.current.txt
+#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR5.baseline.txt
 #   scripts/bench.sh -count 5      # more repetitions (default 3)
+#   scripts/bench.sh -regen        # only rebuild BENCH_PR5.json from the
+#                                  # existing text files (e.g. after appending
+#                                  # extra repetitions recorded by hand)
 #
 # Both text files are benchstat-compatible; compare with
-#   benchstat BENCH_PR4.baseline.txt BENCH_PR4.current.txt
-# After every run the JSON summary BENCH_PR4.json is regenerated from
+#   benchstat BENCH_PR5.baseline.txt BENCH_PR5.current.txt
+# After every run the JSON summary BENCH_PR5.json is regenerated from
 # whichever text files exist: per-benchmark best-of-count ns/op, B/op and
 # allocs/op for baseline and current, plus speedup ratios where both sides
-# have the benchmark. See docs/performance.md. The PR3 record
-# (BENCH_PR3.*) is kept as history and no longer regenerated.
+# have the benchmark. Every repetition's ns/op is recorded in the text
+# file; the JSON keeps the per-bench minimum across the -count runs, which
+# suppresses scheduler noise that otherwise reads as phantom regressions.
+# See docs/performance.md. The PR3/PR4 records (BENCH_PR3.*, BENCH_PR4.*)
+# are kept as history and no longer regenerated.
 set -e
 
 cd "$(dirname "$0")/.."
 
 COUNT=3
 SECTION=current
+REGEN=0
 while [ $# -gt 0 ]; do
     case "$1" in
     -count)
@@ -32,16 +39,22 @@ while [ $# -gt 0 ]; do
         SECTION=baseline
         shift
         ;;
+    -regen)
+        REGEN=1
+        shift
+        ;;
     *)
-        echo "usage: scripts/bench.sh [-count N] [-baseline]" >&2
+        echo "usage: scripts/bench.sh [-count N] [-baseline] [-regen]" >&2
         exit 2
         ;;
     esac
 done
 
-BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k)$'
+BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k)$'
 
-go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR4.$SECTION.txt"
+if [ "$REGEN" = 0 ]; then
+    go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR5.$SECTION.txt"
+fi
 
 # Regenerate the JSON summary from the recorded text files. For each
 # benchmark the best (minimum) ns/op across repetitions is kept, the
@@ -102,6 +115,10 @@ END {
     }
     printf "\n  }\n}\n"
 }
-' $(ls BENCH_PR4.baseline.txt BENCH_PR4.current.txt 2>/dev/null) >BENCH_PR4.json
+' $(ls BENCH_PR5.baseline.txt BENCH_PR5.current.txt 2>/dev/null) >BENCH_PR5.json
 
-echo "wrote BENCH_PR4.$SECTION.txt and BENCH_PR4.json"
+if [ "$REGEN" = 1 ]; then
+    echo "regenerated BENCH_PR5.json"
+else
+    echo "wrote BENCH_PR5.$SECTION.txt and BENCH_PR5.json"
+fi

@@ -29,8 +29,10 @@ go test -race ./...
 echo "go test -race: ok"
 
 # Smoke-run the benchmarks scripts/bench.sh tracks (keep the regex in sync
-# with scripts/bench.sh): one iteration each, results discarded — this only
-# proves the tracked benches still compile and run.
-go test -run '^$' -bench '^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k)$' -benchtime 1x . >/dev/null
+# with scripts/bench.sh): one iteration each — this only proves the tracked
+# benches still compile and run. The output lands in bench-smoke.txt (not a
+# perf record: one untimed iteration), which CI uploads as an artifact so a
+# failing or silently vanishing benchmark is visible from the workflow run.
+go test -run '^$' -bench '^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k)$' -benchtime 1x . >bench-smoke.txt
 echo "bench smoke (-benchtime=1x): ok"
 echo "verify: all checks passed"
