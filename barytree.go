@@ -21,6 +21,16 @@
 //     with recursive coordinate bisection, one-sided RMA windows and
 //     locally essential trees, one simulated GPU per rank.
 //
+// Every Solve* function runs the full pipeline — setup (tree, batches,
+// interaction lists, cluster grids), precompute (modified charges) and
+// compute — for one shot. When the particle positions repeat across calls,
+// run the setup once with NewPlan and reuse it: Plan.Solve (concurrent
+// one-shot solves against a shared immutable Plan), Solver (sequential
+// charge-update iteration, e.g. a Krylov matvec loop), or the bltcd
+// daemon (cmd/bltcd), which serves HTTP solve requests against a cache of
+// Plans keyed by geometry. All reuse paths return potentials byte-identical
+// to the corresponding one-shot call; see docs/serving.md.
+//
 // All numerical results are genuinely computed in double (or optionally
 // single) precision; only the *reported times* come from the performance
 // model, since no physical GPU or network is involved. See DESIGN.md for
@@ -124,7 +134,10 @@ type Result struct {
 
 // Solve computes the potentials with the treecode on the CPU backend and
 // returns them in target order. It is the simplest entry point; use
-// SolveCPU for timing details.
+// SolveCPU for timing details. Each call runs the setup phase from
+// scratch — when solving repeatedly on fixed positions (new charges, or a
+// different kernel), build the geometry once with NewPlan and call
+// Plan.Solve, which returns byte-identical potentials without the rebuild.
 func Solve(k Kernel, targets, sources *Particles, p Params) ([]float64, error) {
 	res, err := SolveCPU(k, targets, sources, p, 0)
 	if err != nil {
@@ -136,7 +149,8 @@ func Solve(k Kernel, targets, sources *Particles, p Params) ([]float64, error) {
 // SolveCPU computes the potentials with the multicore CPU backend
 // (parallelized over target batches, like the paper's OpenMP code).
 // workers = 0 uses all available cores for the functional computation;
-// reported times always model the paper's 6-core Xeon X5650.
+// reported times always model the paper's 6-core Xeon X5650. The setup
+// phase runs per call; amortize it across calls with NewPlan/Plan.Solve.
 func SolveCPU(k Kernel, targets, sources *Particles, p Params, workers int) (*Result, error) {
 	pl, err := core.NewPlan(targets, sources, p)
 	if err != nil {
@@ -188,7 +202,10 @@ type DeviceConfig struct {
 // SolveDevice computes the potentials on one simulated GPU, following the
 // paper's host/device flow (Section 3.2): source copy-in, per-cluster
 // modified-charge kernels, batch/cluster potential kernels cycling over
-// asynchronous streams with atomic accumulation, potential copy-out.
+// asynchronous streams with atomic accumulation, potential copy-out. The
+// setup phase (host-side, Section 3.1) runs per call, as in the paper's
+// measurements; the reuse paths (Plan.Solve, Solver, cmd/bltcd) currently
+// evaluate on the CPU backend only.
 func SolveDevice(k Kernel, targets, sources *Particles, p Params, cfg DeviceConfig) (*Result, error) {
 	pl, err := core.NewPlan(targets, sources, p)
 	if err != nil {
@@ -312,6 +329,9 @@ type FieldResult struct {
 // approximation interpolates in the source variable only:
 //
 //	grad phi(x) ~= sum_k grad_x G(x, s_k) qhat_k.
+//
+// The setup phase runs per call; field evaluation has no Plan-reuse path
+// yet (potentials only — see docs/serving.md).
 func SolveWithField(k Kernel, targets, sources *Particles, p Params) (*FieldResult, error) {
 	gk, ok := k.(kernel.GradKernel)
 	if !ok {

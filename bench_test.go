@@ -11,7 +11,11 @@ package barytree_test
 // a single iteration is meaningful.
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"barytree"
@@ -23,6 +27,7 @@ import (
 	"barytree/internal/particle"
 	"barytree/internal/perfmodel"
 	"barytree/internal/rcb"
+	"barytree/internal/serve"
 	"barytree/internal/sweep"
 	"barytree/internal/tree"
 
@@ -481,6 +486,72 @@ func BenchmarkEvalDirectBlock(b *testing.B) {
 
 // benchSink defeats dead-code elimination in the micro-benchmarks.
 var benchSink float64
+
+// BenchmarkPlanSolve50k measures the amortized-plan solve path
+// (NewPlan once, Plan.Solve per iteration with fresh charges): the
+// steady-state cost a bltcd request pays, i.e. BenchmarkTreecodeCPU50k
+// minus the per-call setup phase.
+func BenchmarkPlanSolve50k(b *testing.B) {
+	pts := barytree.UniformCube(50_000, 3)
+	p := barytree.Params{Theta: 0.8, Degree: 6, LeafSize: 1000, BatchSize: 1000}
+	pl, err := barytree.NewPlan(pts, pts, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := barytree.Coulomb()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Solve(k, pts.Q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeSolve20k measures one solve through the full daemon path
+// — HTTP round-trip, JSON decode/encode of charges and potentials,
+// admission, coalescing queue, cached plan — at a size where the serving
+// overhead is visible next to the compute (see BENCH_PR6.json's "serving"
+// record for the concurrent-load picture).
+func BenchmarkServeSolve20k(b *testing.B) {
+	const n = 20_000
+	pts := barytree.UniformCube(n, 7)
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	planBody, _ := json.Marshal(serve.PlanRequest{GeometrySpec: serve.GeometrySpec{
+		Targets: &serve.PointsSpec{X: pts.X, Y: pts.Y, Z: pts.Z},
+		Params:  &serve.ParamsSpec{Theta: 0.8, Degree: 6, LeafSize: 1000, BatchSize: 1000},
+	}})
+	resp, err := http.Post(ts.URL+"/v1/plans", "application/json", bytes.NewReader(planBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plan serve.PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+
+	solveBody, _ := json.Marshal(serve.SolveRequest{Plan: plan.Plan, Charges: pts.Q})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(solveBody))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sol serve.SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sol); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(sol.Phi) != n {
+			b.Fatalf("got %d potentials, want %d", len(sol.Phi), n)
+		}
+	}
+}
 
 // BenchmarkBuildLists100k measures interaction-list construction for a
 // 100k-particle system, serial versus the parallel traversal (which is

@@ -1,0 +1,340 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"barytree/internal/serve"
+)
+
+// loadFlags are the -loadtest knobs.
+type loadFlags struct {
+	N        int   // particles per geometry
+	Clients  int   // concurrent simulated clients
+	Requests int   // solve requests per client
+	Seed     int64 // geometry/charge seed
+	Out      string
+}
+
+// loadGeometries is how many distinct geometries (and so cached plans) the
+// harness spreads its clients over.
+const loadGeometries = 4
+
+// servingRecord is the "serving" entry merged into the BENCH json.
+type servingRecord struct {
+	Config   servingConfig  `json:"config"`
+	Requests servingCounts  `json:"requests"`
+	Latency  servingLatency `json:"latency_seconds"`
+	// ThroughputRPS is completed solves per wall-clock second over the
+	// whole run.
+	ThroughputRPS float64         `json:"throughput_rps"`
+	Coalesce      servingCoalesce `json:"coalesce"`
+}
+
+type servingConfig struct {
+	Particles  int     `json:"particles"`
+	Geometries int     `json:"geometries"`
+	Clients    int     `json:"clients"`
+	PerClient  int     `json:"requests_per_client"`
+	Theta      float64 `json:"theta"`
+	Degree     int     `json:"degree"`
+	InFlight   int     `json:"max_in_flight"`
+}
+
+type servingCounts struct {
+	Total    int    `json:"total"`
+	OK       int    `json:"ok"`
+	Retries  uint64 `json:"backpressure_retries"`
+	PlanHits uint64 `json:"plan_cache_hits"`
+}
+
+type servingLatency struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+type servingCoalesce struct {
+	Groups   uint64  `json:"groups"`
+	Jobs     uint64  `json:"jobs"`
+	MaxGroup uint64  `json:"max_group_size"`
+	MeanSize float64 `json:"mean_group_size"`
+}
+
+// runLoadtest replays Clients concurrent clients, each issuing Requests
+// solves with fresh charge vectors against one of a handful of cached
+// plans, against an in-process daemon over real HTTP. It records exact
+// per-request latency percentiles and end-to-end throughput, prints a
+// summary, and (with -out) merges the record into a BENCH json under the
+// "serving" key.
+func runLoadtest(cfg serve.Config, lt loadFlags) error {
+	base, _, shutdown, err := startLocal(cfg)
+	if err != nil {
+		return err
+	}
+
+	params := &serve.ParamsSpec{Theta: 0.7, Degree: 6, LeafSize: 250, BatchSize: 250}
+
+	// Build the plan set up front so the measured phase is steady-state
+	// serving, not setup.
+	keys := make([]string, loadGeometries)
+	for g := 0; g < loadGeometries; g++ {
+		pts, _ := smokeGeometry(lt.N, lt.Seed+int64(g))
+		var plan serve.PlanResponse
+		if err := postJSON(base, "/v1/plans", serve.PlanRequest{
+			GeometrySpec: serve.GeometrySpec{Targets: pts, Params: params},
+		}, &plan); err != nil {
+			return err
+		}
+		keys[g] = plan.Plan
+	}
+
+	total := lt.Clients * lt.Requests
+	fmt.Printf("bltcd loadtest: %d clients x %d requests, %d geometries of n=%d\n",
+		lt.Clients, lt.Requests, loadGeometries, lt.N)
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []float64
+		retries   uint64
+		firstErr  error
+	)
+	client := &http.Client{}
+	start := time.Now()
+	for c := 0; c < lt.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(lt.Seed ^ int64(1+c)*0x9e3779b9))
+			key := keys[c%loadGeometries]
+			lats := make([]float64, 0, lt.Requests)
+			var myRetries uint64
+			for r := 0; r < lt.Requests; r++ {
+				q := make([]float64, lt.N)
+				for i := range q {
+					q[i] = 2*rng.Float64() - 1
+				}
+				req := serve.SolveRequest{Plan: key, Charges: q}
+				t0 := time.Now()
+				var sol serve.SolveResponse
+				for {
+					err := solveOnce(client, base, req, &sol)
+					if err == nil {
+						break
+					}
+					if re, ok := err.(errRejected); ok {
+						myRetries++
+						time.Sleep(re.after)
+						continue
+					}
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d request %d: %v", c, r, err)
+					}
+					mu.Unlock()
+					return
+				}
+				lats = append(lats, time.Since(t0).Seconds())
+				if len(sol.Phi) != lt.N {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d got %d potentials, want %d", c, len(sol.Phi), lt.N)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, lats...)
+			retries += myRetries
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	if firstErr != nil {
+		shutdown()
+		return firstErr
+	}
+
+	counters, err := scrapeMetrics(base)
+	if err != nil {
+		shutdown()
+		return err
+	}
+	if err := shutdown(); err != nil {
+		return err
+	}
+
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	mean := 0.0
+	if len(latencies) > 0 {
+		mean = sum / float64(len(latencies))
+	}
+	groups := uint64(counters["bltcd_coalesce_groups_total"])
+	jobs := uint64(counters["bltcd_coalesce_jobs_total"])
+	meanGroup := 0.0
+	if groups > 0 {
+		meanGroup = float64(jobs) / float64(groups)
+	}
+	rec := servingRecord{
+		Config: servingConfig{
+			Particles: lt.N, Geometries: loadGeometries,
+			Clients: lt.Clients, PerClient: lt.Requests,
+			Theta: params.Theta, Degree: params.Degree,
+			InFlight: int(counters["bltcd_inflight_max"]),
+		},
+		Requests: servingCounts{
+			Total: total, OK: len(latencies), Retries: retries,
+			PlanHits: uint64(counters["bltcd_solve_plan_hits_total"]),
+		},
+		Latency: servingLatency{
+			P50:  serve.Quantile(latencies, 0.50),
+			P90:  serve.Quantile(latencies, 0.90),
+			P99:  serve.Quantile(latencies, 0.99),
+			Max:  serve.Quantile(latencies, 1),
+			Mean: mean,
+		},
+		ThroughputRPS: float64(len(latencies)) / wall,
+		Coalesce: servingCoalesce{
+			Groups: groups, Jobs: jobs,
+			MaxGroup: uint64(counters["bltcd_coalesce_max_group_size"]),
+			MeanSize: meanGroup,
+		},
+	}
+
+	fmt.Printf("bltcd loadtest: %d/%d ok in %.1fs (%.1f req/s), %d backpressure retries\n",
+		rec.Requests.OK, total, wall, rec.ThroughputRPS, retries)
+	fmt.Printf("  latency  p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
+		1e3*rec.Latency.P50, 1e3*rec.Latency.P90, 1e3*rec.Latency.P99, 1e3*rec.Latency.Max)
+	fmt.Printf("  coalesce %d groups serving %d requests (mean %.1f, max %d per pass)\n",
+		groups, jobs, meanGroup, rec.Coalesce.MaxGroup)
+
+	if lt.Out == "" {
+		return nil
+	}
+	return mergeServing(lt.Out, rec)
+}
+
+// errRejected is a 429 with its server-suggested retry delay.
+type errRejected struct{ after time.Duration }
+
+func (e errRejected) Error() string { return "rejected (429)" }
+
+// solveOnce posts one solve, distinguishing backpressure rejections (which
+// the caller retries) from real errors.
+func solveOnce(client *http.Client, base string, req serve.SolveRequest, out *serve.SolveResponse) error {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/solve", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		after := time.Second
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s >= 0 {
+			after = time.Duration(s) * time.Second
+		}
+		if after > 50*time.Millisecond {
+			// The server rounds Retry-After up to whole seconds; in-process
+			// we can re-knock much sooner.
+			after = 50 * time.Millisecond
+		}
+		return errRejected{after: after}
+	}
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		var er serve.ErrorResponse
+		dec.Decode(&er)
+		return fmt.Errorf("%s: %s", resp.Status, er.Error)
+	}
+	return dec.Decode(out)
+}
+
+// scrapeMetrics fetches /metrics and parses the flat `name value` lines
+// into a map keyed by metric name (labels included verbatim).
+func scrapeMetrics(base string) (map[string]float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out, sc.Err()
+}
+
+// mergeServing reads the BENCH json at path (if present), replaces its
+// "serving" entry with rec, and writes it back with stable key order.
+func mergeServing(path string, rec servingRecord) error {
+	doc := make(map[string]json.RawMessage)
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	doc["serving"] = enc
+
+	// Emit with sorted keys and stable indentation so reruns diff cleanly.
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.WriteString("{\n")
+	for i, k := range keys {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, doc[k], "  ", "  "); err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "  %q: %s", k, pretty.String())
+		if i < len(keys)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bltcd loadtest: wrote %s\n", path)
+	return nil
+}

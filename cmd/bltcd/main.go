@@ -1,0 +1,136 @@
+// Command bltcd is the treecode daemon: a stdlib-only HTTP server that
+// evaluates barycentric-Lagrange-treecode solve requests against a cache
+// of immutable plans keyed by geometry hash (see internal/serve and
+// docs/serving.md).
+//
+// Start it, POST a geometry once, then stream solves against the cached
+// plan:
+//
+//	bltcd -addr :7070
+//	curl -s localhost:7070/v1/plans  -d @geometry.json   # -> {"plan":"<key>",...}
+//	curl -s localhost:7070/v1/solve  -d '{"plan":"<key>","kernel":{"name":"coulomb"},"charges":[...]}'
+//	curl -s localhost:7070/metrics
+//
+// Modes:
+//
+//	bltcd -smoke      start, run one end-to-end solve against itself
+//	                  (checked bit-for-bit vs the library), shut down —
+//	                  the CI smoke gate.
+//	bltcd -loadtest   replay thousands of simulated clients against an
+//	                  in-process daemon and record p50/p99 latency and
+//	                  throughput into a BENCH json (see -out).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"barytree/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7070", "listen address")
+		maxPlans   = flag.Int("max-plans", 0, "plan-cache bound (0 = default 16, LRU beyond)")
+		inflight   = flag.Int("inflight", 0, "max admitted concurrent solves (0 = default 64); excess gets 429")
+		workers    = flag.Int("workers", 0, "host goroutines per pass (0 = all cores; results identical)")
+		maxBodyMB  = flag.Int64("max-body-mb", 0, "request body cap in MiB (0 = default 256)")
+		traceSpans = flag.Int("trace-spans", 0, "span cap of the /trace buffer (0 = default 4096)")
+		smoke      = flag.Bool("smoke", false, "start, solve once against itself, verify, shut down")
+		loadtest   = flag.Bool("loadtest", false, "run the load harness against an in-process daemon")
+	)
+	// Load-harness flags (only read with -loadtest).
+	lt := loadFlags{}
+	flag.IntVar(&lt.N, "n", 2000, "loadtest: particles per geometry")
+	flag.IntVar(&lt.Clients, "clients", 200, "loadtest: concurrent simulated clients")
+	flag.IntVar(&lt.Requests, "requests", 10, "loadtest: solve requests per client")
+	flag.Int64Var(&lt.Seed, "seed", 7, "loadtest: geometry/charge seed")
+	flag.StringVar(&lt.Out, "out", "", "loadtest: BENCH json to create or merge the \"serving\" record into")
+	flag.Parse()
+
+	cfg := serve.Config{
+		MaxPlans:        *maxPlans,
+		MaxInFlight:     *inflight,
+		Workers:         *workers,
+		MaxRequestBytes: *maxBodyMB << 20,
+		TraceSpans:      *traceSpans,
+	}
+
+	switch {
+	case *smoke:
+		if err := runSmoke(cfg); err != nil {
+			log.Fatalf("bltcd smoke: %v", err)
+		}
+		fmt.Println("bltcd smoke: ok")
+	case *loadtest:
+		if err := runLoadtest(cfg, lt); err != nil {
+			log.Fatalf("bltcd loadtest: %v", err)
+		}
+	default:
+		if err := runDaemon(cfg, *addr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runDaemon serves until SIGINT/SIGTERM, then drains connections.
+func runDaemon(cfg serve.Config, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: serve.New(cfg).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("bltcd listening on %s", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("bltcd: %v, draining", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("bltcd: clean shutdown")
+		return nil
+	}
+}
+
+// startLocal starts an in-process daemon on an ephemeral loopback port and
+// returns its base URL and a clean-shutdown func (smoke and loadtest
+// share it).
+func startLocal(cfg serve.Config) (base string, srv *serve.Server, shutdown func() error, err error) {
+	srv = serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	shutdown = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+	return "http://" + ln.Addr().String(), srv, shutdown, nil
+}

@@ -148,10 +148,12 @@ func (s *chargeScratch) Reserve(nc, m int) {
 
 // pass1Particle computes the intermediate quantity q-tilde (equation (14))
 // and the barycentric factors for the j-th particle of node nd, mirroring
-// one thread block of the first preprocessing kernel.
+// one thread block of the first preprocessing kernel. q supplies the source
+// charges in tree order — the plan's own Q for a plan-owned pass, or a
+// ChargeState's Q for a per-request pass; the arithmetic is identical.
 //
 //hot:path
-func (cd *ClusterData) pass1Particle(src *particle.Set, nd *tree.Node, ni, j int, s *chargeScratch) {
+func (cd *ClusterData) pass1Particle(src *particle.Set, q []float64, nd *tree.Node, ni, j int, s *chargeScratch) {
 	g := cd.Grids[ni]
 	m := cd.Degree + 1
 	p := nd.Lo + j
@@ -159,7 +161,7 @@ func (cd *ClusterData) pass1Particle(src *particle.Set, nd *tree.Node, ni, j int
 	dx := barycentricFactorsInto(g.Dims[0], src.X[p], s.tx[row:row+m])
 	dy := barycentricFactorsInto(g.Dims[1], src.Y[p], s.ty[row:row+m])
 	dz := barycentricFactorsInto(g.Dims[2], src.Z[p], s.tz[row:row+m])
-	s.qt[j] = src.Q[p] / (dx * dy * dz)
+	s.qt[j] = q[p] / (dx * dy * dz)
 }
 
 // barycentricFactorsInto fills t[k] = w_k/(x - s_k) for a 1D grid and
@@ -204,20 +206,31 @@ func (cd *ClusterData) pass2Point(s *chargeScratch, block int, qhat []float64) {
 	qhat[block] = sum
 }
 
+// computeChargesNodeInto runs both host passes for node ni with charges q
+// (tree order) into the caller-provided qhat buffer, using the caller's
+// scratch — the pass itself allocates nothing. This is the shared body of
+// the plan-owned pass (qhat = the plan's arena slot) and the per-request
+// pass (qhat = a ChargeState's arena slot); for equal q the filled values
+// are bit-identical because the operation sequence does not depend on
+// which buffer receives them.
+func (cd *ClusterData) computeChargesNodeInto(src *particle.Set, q []float64, nd *tree.Node, ni int, s *chargeScratch, qhat []float64) {
+	nc := nd.Count()
+	s.Reserve(nc, cd.Degree+1)
+	for j := 0; j < nc; j++ {
+		cd.pass1Particle(src, q, nd, ni, j, s)
+	}
+	np := cd.Grids[ni].NumPoints()
+	for b := 0; b < np; b++ {
+		cd.pass2Point(s, b, qhat)
+	}
+}
+
 // computeChargesNode fills Qhat[ni] on the host (both passes, serial),
 // using the caller's scratch buffers and the node's arena slot — the pass
 // itself allocates nothing.
 func (cd *ClusterData) computeChargesNode(src *particle.Set, nd *tree.Node, ni int, s *chargeScratch) {
-	nc := nd.Count()
-	s.Reserve(nc, cd.Degree+1)
-	for j := 0; j < nc; j++ {
-		cd.pass1Particle(src, nd, ni, j, s)
-	}
-	np := cd.Grids[ni].NumPoints()
 	qhat := cd.qhatSlot(ni)
-	for b := 0; b < np; b++ {
-		cd.pass2Point(s, b, qhat)
-	}
+	cd.computeChargesNodeInto(src, src.Q, nd, ni, s, qhat)
 	cd.Qhat[ni] = qhat
 }
 

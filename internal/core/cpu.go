@@ -68,7 +68,7 @@ func RunCPU(pl *Plan, k kernel.Kernel, opt CPUOptions) *Result {
 	tk := kernel.AsTile(k)
 	phiBatch := make([]float64, pl.Batches.Targets.Len())
 	pool.For(len(pl.Batches.Batches), opt.Workers, func(bi int) {
-		evalBatchLists(pl, tk, bi, phiBatch)
+		evalBatchLists(pl, tk, bi, phiBatch, pl.Sources.Particles.Q, pl.Clusters.Qhat)
 	})
 	res.Wall[perfmodel.PhaseCompute] = time.Since(start).Seconds()
 	res.Times[perfmodel.PhaseCompute] = computeFlops(pl.Lists.Stats, k, kernel.ArchCPU) / rate
@@ -87,7 +87,7 @@ func RunCPU(pl *Plan, k kernel.Kernel, opt CPUOptions) *Result {
 func RunComputeOnly(pl *Plan, k kernel.Kernel, phi []float64) float64 {
 	tk := kernel.AsTile(k)
 	pool.For(len(pl.Batches.Batches), 0, func(bi int) {
-		evalBatchLists(pl, tk, bi, phi)
+		evalBatchLists(pl, tk, bi, phi, pl.Sources.Particles.Q, pl.Clusters.Qhat)
 	})
 	return computeFlops(pl.Lists.Stats, k, kernel.ArchCPU)
 }
@@ -101,8 +101,14 @@ func RunComputeOnly(pl *Plan, k kernel.Kernel, phi []float64) float64 {
 // phi, so the result is bit-identical to the single-target block path.
 // Targets past the last full tile take the single-target epilogue.
 //
+// q and qhat supply the source charges (tree order) and per-node modified
+// charges: the plan's own (RunCPU, RunComputeOnly) or a per-request
+// ChargeState's (RunComputeState, RunComputeGroup). The geometry always
+// comes from the plan; q/qhat are only ever read, so concurrent calls with
+// disjoint phi are safe.
+//
 //hot:path
-func evalBatchLists(pl *Plan, tk kernel.TileKernel, bi int, phi []float64) {
+func evalBatchLists(pl *Plan, tk kernel.TileKernel, bi int, phi, q []float64, qhat [][]float64) {
 	b := &pl.Batches.Batches[bi]
 	tg := pl.Batches.Targets
 	src := pl.Sources.Particles
@@ -116,22 +122,29 @@ func evalBatchLists(pl *Plan, tk kernel.TileKernel, bi int, phi []float64) {
 		t.LoadPotentials(phi, ti)
 		for _, ci := range direct {
 			nd := &pl.Sources.Nodes[ci]
-			EvalDirectTileBlock(tk, &t, src, nd.Lo, nd.Hi)
+			EvalDirectTileBlockQ(tk, &t, src, q, nd.Lo, nd.Hi)
 		}
 		for _, ci := range approx {
-			EvalApproxTileBlock(tk, &t, cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci])
+			EvalApproxTileBlock(tk, &t, cd.PX[ci], cd.PY[ci], cd.PZ[ci], qhat[ci])
 		}
 		t.Store(phi, ti)
 	}
 	for ; ti < b.Hi; ti++ {
 		for _, ci := range direct {
 			nd := &pl.Sources.Nodes[ci]
-			phi[ti] += EvalDirectTargetBlock(tk, tg, ti, src, nd.Lo, nd.Hi)
+			phi[ti] += EvalDirectTargetBlockQ(tk, tg, ti, src, q, nd.Lo, nd.Hi)
 		}
 		for _, ci := range approx {
-			phi[ti] += EvalApproxTargetBlock(tk, tg, ti, cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci])
+			phi[ti] += EvalApproxTargetBlock(tk, tg, ti, cd.PX[ci], cd.PY[ci], cd.PZ[ci], qhat[ci])
 		}
 	}
+}
+
+// ComputeWork returns the modeled flop-equivalents of one compute phase of
+// pl under kernel k on the CPU architecture class — the per-request work
+// the serving layer attributes to each solve it coalesces.
+func ComputeWork(pl *Plan, k kernel.Kernel) float64 {
+	return computeFlops(pl.Lists.Stats, k, kernel.ArchCPU)
 }
 
 // computeFlops converts interaction counts into modeled flop-equivalents

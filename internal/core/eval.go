@@ -58,6 +58,17 @@ func EvalApproxTargetBlock(bk kernel.BlockKernel, tg *particle.Set, ti int, px, 
 	return bk.EvalBlockAccum(tg.X[ti], tg.Y[ti], tg.Z[ti], px, py, pz, qhat)
 }
 
+// EvalDirectTargetBlockQ is EvalDirectTargetBlock with the charges supplied
+// separately from the particle set (q in tree order, indexed like src):
+// the per-request-state form. With q = src.Q it performs the identical
+// call, so the two are bit-identical by construction.
+//
+//hot:path
+func EvalDirectTargetBlockQ(bk kernel.BlockKernel, tg *particle.Set, ti int, src *particle.Set, q []float64, cLo, cHi int) float64 {
+	return bk.EvalBlockAccum(tg.X[ti], tg.Y[ti], tg.Z[ti],
+		src.X[cLo:cHi], src.Y[cLo:cHi], src.Z[cLo:cHi], q[cLo:cHi])
+}
+
 // TargetTile is the working state of the target-tiled evaluation drivers: a
 // tile of kernel.TileWidth targets evaluated together against every source
 // block on an interaction list, so the source arrays stream once per tile
@@ -146,6 +157,17 @@ func EvalDirectTileBlock(tk kernel.TileKernel, t *TargetTile, src *particle.Set,
 //hot:path
 func EvalApproxTileBlock(tk kernel.TileKernel, t *TargetTile, px, py, pz, qhat []float64) {
 	tk.EvalTileAccum(&t.TX, &t.TY, &t.TZ, px, py, pz, qhat, &t.Acc)
+}
+
+// EvalDirectTileBlockQ is EvalDirectTileBlock with the charges supplied
+// separately from the particle set (q in tree order, indexed like src):
+// the per-request-state form, bit-identical to EvalDirectTileBlock when
+// q = src.Q.
+//
+//hot:path
+func EvalDirectTileBlockQ(tk kernel.TileKernel, t *TargetTile, src *particle.Set, q []float64, cLo, cHi int) {
+	tk.EvalTileAccum(&t.TX, &t.TY, &t.TZ,
+		src.X[cLo:cHi], src.Y[cLo:cHi], src.Z[cLo:cHi], q[cLo:cHi], &t.Acc)
 }
 
 // TargetTileF32 is the single-precision tile state: float32 coordinates

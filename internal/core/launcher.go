@@ -240,7 +240,7 @@ func LaunchChargeKernels(cd *ClusterData, t *tree.Tree, dev *device.Device,
 			ni := ni
 			nd := nd
 			fn1 = func(block int) {
-				cd.pass1Particle(t.Particles, nd, ni, block, scratch)
+				cd.pass1Particle(t.Particles, t.Particles.Q, nd, ni, block, scratch)
 			}
 			fn2 = func(block int) {
 				cd.pass2Point(scratch, block, qhat)

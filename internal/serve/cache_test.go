@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"barytree/internal/core"
+)
+
+// buildTestPlan runs the real setup phase for a small deterministic
+// geometry (cache tests need genuine immutable plans, not stubs).
+func buildTestPlan(t *testing.T, seed int64) *core.Plan {
+	t.Helper()
+	s, _ := testSet(150, seed)
+	pl, err := core.NewPlan(s, s, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewPlanCache(4)
+	pl := buildTestPlan(t, 1)
+
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	build := func() (*core.Plan, error) {
+		builds.Add(1)
+		<-gate // hold the build until every goroutine has called in
+		return pl, nil
+	}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	entries := make([]*planEntry, callers)
+	started := make(chan struct{}, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			e, _, err := c.GetOrBuild("k", build)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			entries[i] = e
+		}(i)
+	}
+	for i := 0; i < callers; i++ {
+		<-started
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d concurrent callers ran %d builds, want 1", callers, n)
+	}
+	for i, e := range entries {
+		if e == nil || e.Plan() != pl {
+			t.Fatalf("caller %d got entry %v, want the shared plan", i, e)
+		}
+	}
+	stats, size := c.Stats()
+	if stats.Builds != 1 || stats.Misses != 1 || size != 1 {
+		t.Fatalf("stats %+v size %d, want one build/miss and one resident plan", stats, size)
+	}
+	if stats.Hits != callers-1 {
+		t.Fatalf("hits = %d, want %d (every caller after the builder)", stats.Hits, callers-1)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewPlanCache(2)
+	pl := buildTestPlan(t, 2)
+	add := func(key string) {
+		if _, _, err := c.GetOrBuild(key, func() (*core.Plan, error) { return pl, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	add("a")
+	add("b")
+	if e := c.Get("a"); e == nil { // refresh a: b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	add("c") // evicts b
+
+	if c.Get("b") != nil {
+		t.Fatalf("b survived eviction; want it dropped as LRU")
+	}
+	for _, key := range []string{"a", "c"} {
+		if c.Get(key) == nil {
+			t.Fatalf("%s evicted; want it resident", key)
+		}
+	}
+	stats, size := c.Stats()
+	if stats.Evictions != 1 || size != 2 {
+		t.Fatalf("evictions = %d size = %d, want 1 and 2", stats.Evictions, size)
+	}
+}
+
+func TestCacheEvictionKeepsHandedOutPlans(t *testing.T) {
+	c := NewPlanCache(1)
+	pl1 := buildTestPlan(t, 3)
+	pl2 := buildTestPlan(t, 4)
+
+	e1, _, _ := c.GetOrBuild("one", func() (*core.Plan, error) { return pl1, nil })
+	c.GetOrBuild("two", func() (*core.Plan, error) { return pl2, nil }) // evicts "one"
+
+	if c.Get("one") != nil {
+		t.Fatal("evicted key still resident")
+	}
+	// The handed-out entry keeps working: eviction severs the key, not the
+	// plan.
+	if e1.Plan() != pl1 {
+		t.Fatal("eviction clobbered a handed-out plan")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewPlanCache(4)
+	pl := buildTestPlan(t, 5)
+	c.GetOrBuild("k", func() (*core.Plan, error) { return pl, nil })
+
+	if !c.Invalidate("k") {
+		t.Fatal("invalidate of a resident key reported absent")
+	}
+	if c.Invalidate("k") {
+		t.Fatal("second invalidate reported resident")
+	}
+	if c.Get("k") != nil {
+		t.Fatal("key survived invalidation")
+	}
+
+	// The geometry rebuilds on next request.
+	var rebuilt bool
+	c.GetOrBuild("k", func() (*core.Plan, error) { rebuilt = true; return pl, nil })
+	if !rebuilt {
+		t.Fatal("request after invalidation did not rebuild")
+	}
+}
+
+func TestCacheFailedBuildRetries(t *testing.T) {
+	c := NewPlanCache(4)
+	pl := buildTestPlan(t, 6)
+	boom := errors.New("boom")
+
+	if _, _, err := c.GetOrBuild("k", func() (*core.Plan, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("build error %v, want boom", err)
+	}
+	if c.Get("k") != nil {
+		t.Fatal("failed build left a resident entry")
+	}
+	e, hit, err := c.GetOrBuild("k", func() (*core.Plan, error) { return pl, nil })
+	if err != nil || hit || e.Plan() != pl {
+		t.Fatalf("retry after failed build: e=%v hit=%v err=%v, want fresh successful build", e, hit, err)
+	}
+	stats, _ := c.Stats()
+	if stats.BuildErrors != 1 || stats.Builds != 2 {
+		t.Fatalf("stats %+v, want 1 build error and 2 builds", stats)
+	}
+}
+
+func TestCacheListDeterministic(t *testing.T) {
+	c := NewPlanCache(8)
+	pl := buildTestPlan(t, 7)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("key-%d", 4-i) // insert in reverse order
+		c.GetOrBuild(key, func() (*core.Plan, error) { return pl, nil })
+	}
+	infos := c.List()
+	if len(infos) != 5 {
+		t.Fatalf("listed %d entries, want 5", len(infos))
+	}
+	for i, in := range infos {
+		want := fmt.Sprintf("key-%d", i)
+		if in.Key != want {
+			t.Fatalf("entry %d is %s, want %s (sorted by key)", i, in.Key, want)
+		}
+		if in.Sources != 150 {
+			t.Fatalf("entry %d reports %d sources, want 150", i, in.Sources)
+		}
+	}
+}

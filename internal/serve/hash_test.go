@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"barytree/internal/core"
+)
+
+func TestGeometryKeyDeterministic(t *testing.T) {
+	s, _ := testSet(200, 3)
+	p := testParams()
+	k1 := GeometryKey(s, s, p)
+	k2 := GeometryKey(s, s, p)
+	if k1 != k2 {
+		t.Fatalf("same inputs hashed differently: %s vs %s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key is %d hex chars, want 64", len(k1))
+	}
+
+	// A copy of the data (different backing arrays, same bits) must map to
+	// the same plan.
+	c, _ := testSet(200, 3)
+	if got := GeometryKey(c, c, p); got != k1 {
+		t.Fatalf("bit-identical copy hashed differently")
+	}
+}
+
+func TestGeometryKeySensitivity(t *testing.T) {
+	s, _ := testSet(100, 5)
+	p := testParams()
+	base := GeometryKey(s, s, p)
+
+	perturb := func(name string, f func(s2 *core.Params, pts *[3][]float64)) {
+		t.Helper()
+		c, _ := testSet(100, 5)
+		p2 := p
+		coords := [3][]float64{c.X, c.Y, c.Z}
+		f(&p2, &coords)
+		c.X, c.Y, c.Z = coords[0], coords[1], coords[2]
+		if GeometryKey(c, c, p2) == base {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+
+	perturb("last-ulp coordinate", func(_ *core.Params, pts *[3][]float64) {
+		pts[0][42] = math.Nextafter(pts[0][42], 2)
+	})
+	perturb("theta", func(p2 *core.Params, _ *[3][]float64) { p2.Theta = 0.8 })
+	perturb("degree", func(p2 *core.Params, _ *[3][]float64) { p2.Degree++ })
+	perturb("leaf size", func(p2 *core.Params, _ *[3][]float64) { p2.LeafSize++ })
+	perturb("batch size", func(p2 *core.Params, _ *[3][]float64) { p2.BatchSize++ })
+}
+
+func TestGeometryKeyIgnoresChargesAndWorkers(t *testing.T) {
+	s, q := testSet(100, 7)
+	p := testParams()
+	base := GeometryKey(s, s, p)
+
+	if got := GeometryKey(withCharges(s, q), withCharges(s, q), p); got != base {
+		t.Errorf("charges changed the key: plans are charge-independent")
+	}
+	p2 := p
+	p2.Workers = 8
+	if got := GeometryKey(s, s, p2); got != base {
+		t.Errorf("workers changed the key: output is identical for every worker count")
+	}
+}
+
+func TestGeometryKeyDistinguishesTargetsFromSources(t *testing.T) {
+	a, _ := testSet(100, 11)
+	b, _ := testSet(100, 13)
+	p := testParams()
+	if GeometryKey(a, b, p) == GeometryKey(b, a, p) {
+		t.Fatalf("swapping targets and sources kept the key")
+	}
+}

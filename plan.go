@@ -1,0 +1,83 @@
+package barytree
+
+import (
+	"barytree/internal/core"
+)
+
+// Plan is the reusable, immutable product of the treecode's setup phase for
+// one geometry: the source cluster tree, the target batches, the
+// batch/cluster interaction lists and the per-cluster Chebyshev
+// interpolation grids. A Plan is independent of both the interaction
+// kernel and the source charges — it depends only on the particle
+// *positions* and the Params — so one Plan serves any right-hand side
+// under any kernel (the paper evaluates Coulomb and Yukawa on the same
+// structures, Figure 4).
+//
+// The reuse contract:
+//
+//   - Immutable: nothing mutates a Plan after NewPlan. Every solve keeps
+//     its mutable state (charges, modified charges, potentials) in
+//     per-call buffers.
+//   - Concurrent-safe: any number of goroutines may call Solve (and
+//     NewSolverFromPlan-built solvers) on one Plan simultaneously.
+//   - Kernel-independent: the kernel is an argument of Solve, not of the
+//     Plan; switching kernels costs nothing.
+//   - Deterministic: for equal inputs, Plan.Solve returns potentials
+//     byte-identical to the one-shot Solve — same tree, same interaction
+//     lists, same operation order.
+//
+// This is the library-level form of the serving layer's plan cache
+// (internal/serve, cmd/bltcd): the daemon keys Plans by a geometry hash
+// and runs every request through exactly this reuse path. See
+// docs/serving.md and DESIGN.md §6.
+type Plan struct {
+	core   *core.Plan
+	params Params
+}
+
+// NewPlan runs the setup phase once — build the source tree and target
+// batches, create the interaction lists, lay out the cluster grids — and
+// returns the shareable Plan. The charges in sources are remembered as the
+// default right-hand side for Solve(k, nil); only the positions influence
+// the plan's structure.
+func NewPlan(targets, sources *Particles, p Params) (*Plan, error) {
+	pl, err := core.NewPlan(targets, sources, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{core: pl, params: p}, nil
+}
+
+// Params returns the treecode parameters the plan was built with.
+func (pl *Plan) Params() Params { return pl.params }
+
+// NumTargets returns the number of targets.
+func (pl *Plan) NumTargets() int { return pl.core.Batches.Targets.Len() }
+
+// NumSources returns the number of sources.
+func (pl *Plan) NumSources() int { return pl.core.Sources.Particles.Len() }
+
+// Solve evaluates the treecode against the plan with source charges q
+// (given in the order the sources were passed to NewPlan) and returns the
+// potentials in the original target order. q == nil uses the charges the
+// sources carried at NewPlan. Only the modified-charge pass and the
+// potential evaluation run; no geometry is rebuilt.
+//
+// Solve is safe to call from any number of goroutines concurrently: the
+// plan is only read, and each call owns its charge state and output. For
+// the same geometry, charges and kernel, the result is byte-identical to
+// the one-shot Solve function.
+func (pl *Plan) Solve(k Kernel, q []float64) ([]float64, error) {
+	st := core.NewChargeState(pl.core)
+	if q != nil {
+		if err := st.SetCharges(pl.core, q); err != nil {
+			return nil, err
+		}
+	}
+	st.Compute(pl.core, pl.params.Workers)
+	phiBatch := make([]float64, pl.core.Batches.Targets.Len())
+	core.RunComputeState(pl.core, k, st, phiBatch, pl.params.Workers)
+	out := make([]float64, len(phiBatch))
+	pl.core.Batches.Perm.ScatterInto(out, phiBatch)
+	return out, nil
+}

@@ -2,26 +2,32 @@
 # scripts/bench.sh — run the performance benchmarks tracked by this repo
 # (block-kernel micro-bench, list construction, charge pass, cluster-grid
 # layout, tree/batch build, end-to-end CPU and simulated-device treecode,
-# compute-phase-only evaluation) and record the results.
+# compute-phase-only evaluation, amortized-plan solve, served solve) and
+# record the results.
 #
 # Usage:
-#   scripts/bench.sh               # record current tree -> BENCH_PR5.current.txt
-#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR5.baseline.txt
+#   scripts/bench.sh               # record current tree -> BENCH_PR6.current.txt
+#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR6.baseline.txt
 #   scripts/bench.sh -count 5      # more repetitions (default 3)
-#   scripts/bench.sh -regen        # only rebuild BENCH_PR5.json from the
+#   scripts/bench.sh -regen        # only rebuild BENCH_PR6.json from the
 #                                  # existing text files (e.g. after appending
 #                                  # extra repetitions recorded by hand)
+#   scripts/bench.sh -serving      # also run the bltcd load harness and merge
+#                                  # its latency/throughput record into
+#                                  # BENCH_PR6.json (see scripts/load.sh)
 #
 # Both text files are benchstat-compatible; compare with
-#   benchstat BENCH_PR5.baseline.txt BENCH_PR5.current.txt
-# After every run the JSON summary BENCH_PR5.json is regenerated from
+#   benchstat BENCH_PR6.baseline.txt BENCH_PR6.current.txt
+# After every run the JSON summary BENCH_PR6.json is regenerated from
 # whichever text files exist: per-benchmark best-of-count ns/op, B/op and
 # allocs/op for baseline and current, plus speedup ratios where both sides
 # have the benchmark. Every repetition's ns/op is recorded in the text
 # file; the JSON keeps the per-bench minimum across the -count runs, which
 # suppresses scheduler noise that otherwise reads as phantom regressions.
-# See docs/performance.md. The PR3/PR4 records (BENCH_PR3.*, BENCH_PR4.*)
-# are kept as history and no longer regenerated.
+# With -serving the load harness's record rides along under the "serving"
+# key (the harness read-merges, so bench and loadtest results coexist).
+# See docs/performance.md. The PR3/PR4/PR5 records (BENCH_PR{3,4,5}.*) are
+# kept as history and no longer regenerated.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -29,6 +35,7 @@ cd "$(dirname "$0")/.."
 COUNT=3
 SECTION=current
 REGEN=0
+SERVING=0
 while [ $# -gt 0 ]; do
     case "$1" in
     -count)
@@ -43,17 +50,24 @@ while [ $# -gt 0 ]; do
         REGEN=1
         shift
         ;;
+    -serving)
+        SERVING=1
+        shift
+        ;;
     *)
-        echo "usage: scripts/bench.sh [-count N] [-baseline] [-regen]" >&2
+        echo "usage: scripts/bench.sh [-count N] [-baseline] [-regen] [-serving]" >&2
         exit 2
         ;;
     esac
 done
 
-BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k)$'
+BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k|BenchmarkPlanSolve50k|BenchmarkServeSolve20k)$'
+
+SECTIONS=$(mktemp)
+trap 'rm -f "$SECTIONS"' EXIT
 
 if [ "$REGEN" = 0 ]; then
-    go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR5.$SECTION.txt"
+    go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR6.$SECTION.txt"
 fi
 
 # Regenerate the JSON summary from the recorded text files. For each
@@ -115,10 +129,18 @@ END {
     }
     printf "\n  }\n}\n"
 }
-' $(ls BENCH_PR5.baseline.txt BENCH_PR5.current.txt 2>/dev/null) >BENCH_PR5.json
+' $(ls BENCH_PR6.baseline.txt BENCH_PR6.current.txt 2>/dev/null) >"$SECTIONS"
+
+# Merge the fresh sections into BENCH_PR6.json, preserving any "serving"
+# record the load harness wrote there (scripts/benchjson).
+go run ./scripts/benchjson BENCH_PR6.json "$SECTIONS"
+
+if [ "$SERVING" = 1 ]; then
+    go run ./cmd/bltcd -loadtest -out BENCH_PR6.json
+fi
 
 if [ "$REGEN" = 1 ]; then
-    echo "regenerated BENCH_PR5.json"
+    echo "regenerated BENCH_PR6.json"
 else
-    echo "wrote BENCH_PR5.$SECTION.txt and BENCH_PR5.json"
+    echo "wrote BENCH_PR6.$SECTION.txt and BENCH_PR6.json"
 fi

@@ -1,0 +1,77 @@
+// Command benchjson merges freshly regenerated benchmark sections into a
+// BENCH json without losing the load harness's "serving" record.
+//
+//	benchjson BENCH_PR6.json new-sections.json
+//
+// reads the existing BENCH json (if any), keeps only its "serving" key,
+// overlays every key from new-sections.json (the awk output of
+// scripts/bench.sh: baseline/current/speedup_ns), and rewrites the target
+// with sorted keys and stable indentation — the same layout `bltcd
+// -loadtest -out` produces, so the two writers can alternate without
+// reformatting churn.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson <target.json> <new-sections.json>")
+		os.Exit(2)
+	}
+	target, sections := os.Args[1], os.Args[2]
+
+	doc := make(map[string]json.RawMessage)
+	if raw, err := os.ReadFile(target); err == nil {
+		old := make(map[string]json.RawMessage)
+		if err := json.Unmarshal(raw, &old); err == nil {
+			if s, ok := old["serving"]; ok {
+				doc["serving"] = s
+			}
+		}
+	}
+
+	raw, err := os.ReadFile(sections)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fresh := make(map[string]json.RawMessage)
+	if err := json.Unmarshal(raw, &fresh); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", sections, err)
+		os.Exit(1)
+	}
+	for k, v := range fresh {
+		doc[k] = v
+	}
+
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.WriteString("{\n")
+	for i, k := range keys {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, doc[k], "  ", "  "); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "  %q: %s", k, pretty.String())
+		if i < len(keys)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	if err := os.WriteFile(target, b.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

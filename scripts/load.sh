@@ -1,0 +1,18 @@
+#!/bin/sh
+# scripts/load.sh — run the bltcd load harness and record the serving
+# latency/throughput numbers into BENCH_PR6.json (under the "serving" key;
+# the bench sections written by scripts/bench.sh are preserved).
+#
+# The harness starts an in-process daemon, pre-builds a handful of cached
+# plans, then replays concurrent clients issuing solve requests with fresh
+# charge vectors over real HTTP — measuring exact per-request percentiles,
+# end-to-end throughput, coalescing group sizes and backpressure retries.
+#
+# Usage:
+#   scripts/load.sh                          # default: 200 clients x 10 requests, n=2000
+#   scripts/load.sh -clients 500 -requests 4 # any cmd/bltcd -loadtest flag passes through
+set -e
+
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/bltcd -loadtest -out BENCH_PR6.json "$@"

@@ -1,8 +1,6 @@
 package barytree
 
 import (
-	"fmt"
-
 	"barytree/internal/core"
 )
 
@@ -12,48 +10,55 @@ import (
 // iterative linear solver updates the source charges every iteration while
 // the geometry — tree, batches, interaction lists, Chebyshev grids — stays
 // fixed; only the modified charges and the potential evaluation re-run.
+//
+// A Solver is a sequential convenience over the Plan API: it binds one
+// kernel and one charge state to a Plan and reuses both across calls, so a
+// charge update followed by Potentials allocates almost nothing. The Plan
+// underneath is never mutated — several Solvers built with
+// NewSolverFromPlan can share one Plan, each iterating independently
+// (even concurrently, since each Solver owns its state). A single Solver
+// is not safe for concurrent use; for concurrent one-shot solves call
+// Plan.Solve instead.
 type Solver struct {
 	k      Kernel
-	plan   *core.Plan
+	plan   *Plan
+	state  *core.ChargeState
 	params Params
-	fresh  bool // charges valid for current Q
 }
 
 // NewSolver builds the treecode structures once for the given geometry.
 func NewSolver(k Kernel, targets, sources *Particles, p Params) (*Solver, error) {
-	pl, err := core.NewPlan(targets, sources, p)
+	pl, err := NewPlan(targets, sources, p)
 	if err != nil {
 		return nil, err
 	}
-	return &Solver{k: k, plan: pl, params: p}, nil
+	return NewSolverFromPlan(k, pl), nil
+}
+
+// NewSolverFromPlan binds a kernel and fresh charge state to an existing
+// Plan (for example one obtained from a plan cache). The initial charges
+// are those the sources carried when the plan was built.
+func NewSolverFromPlan(k Kernel, pl *Plan) *Solver {
+	return &Solver{k: k, plan: pl, state: core.NewChargeState(pl.core), params: pl.params}
 }
 
 // Params returns the solver's treecode parameters.
 func (s *Solver) Params() Params { return s.params }
 
+// Plan returns the underlying shared Plan.
+func (s *Solver) Plan() *Plan { return s.plan }
+
 // NumTargets returns the number of targets.
-func (s *Solver) NumTargets() int { return s.plan.Batches.Targets.Len() }
+func (s *Solver) NumTargets() int { return s.plan.NumTargets() }
 
 // NumSources returns the number of sources.
-func (s *Solver) NumSources() int { return s.plan.Sources.Particles.Len() }
+func (s *Solver) NumSources() int { return s.plan.NumSources() }
 
 // UpdateCharges replaces the source charges (given in the order the
 // sources were passed to NewSolver) without rebuilding any geometry. The
 // next Potentials call recomputes only the modified charges.
 func (s *Solver) UpdateCharges(q []float64) error {
-	src := s.plan.Sources
-	if len(q) != src.Particles.Len() {
-		return fmt.Errorf("barytree: UpdateCharges got %d charges for %d sources", len(q), src.Particles.Len())
-	}
-	// Perm maps tree order -> original order.
-	for treeIdx, origIdx := range src.Perm {
-		src.Particles.Q[treeIdx] = q[origIdx]
-	}
-	for i := range s.plan.Clusters.Qhat {
-		s.plan.Clusters.Qhat[i] = nil
-	}
-	s.fresh = false
-	return nil
+	return s.state.SetCharges(s.plan.core, q)
 }
 
 // Potentials evaluates the treecode with the current charges, returning
@@ -61,14 +66,12 @@ func (s *Solver) UpdateCharges(q []float64) error {
 // call after each UpdateCharges) recomputes the modified charges; geometry
 // is never rebuilt.
 func (s *Solver) Potentials() []float64 {
-	if !s.fresh {
-		s.plan.Clusters.ComputeCharges(s.plan.Sources, 0)
-		s.fresh = true
-	}
-	phiBatch := make([]float64, s.plan.Batches.Targets.Len())
-	core.RunComputeOnly(s.plan, s.k, phiBatch)
+	pl := s.plan.core
+	s.state.Compute(pl, 0)
+	phiBatch := make([]float64, pl.Batches.Targets.Len())
+	core.RunComputeState(pl, s.k, s.state, phiBatch, 0)
 	out := make([]float64, len(phiBatch))
-	s.plan.Batches.Perm.ScatterInto(out, phiBatch)
+	pl.Batches.Perm.ScatterInto(out, phiBatch)
 	return out
 }
 

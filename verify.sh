@@ -28,11 +28,17 @@ echo "go build: ok"
 go test -race ./...
 echo "go test -race: ok"
 
+# Daemon smoke: start bltcd in-process, create a plan, run one solve
+# through the full HTTP path, verify the potentials bit-for-bit against
+# the library, shut down cleanly (see cmd/bltcd and docs/serving.md).
+go run ./cmd/bltcd -smoke
+echo "bltcd smoke: ok"
+
 # Smoke-run the benchmarks scripts/bench.sh tracks (keep the regex in sync
 # with scripts/bench.sh): one iteration each — this only proves the tracked
 # benches still compile and run. The output lands in bench-smoke.txt (not a
 # perf record: one untimed iteration), which CI uploads as an artifact so a
 # failing or silently vanishing benchmark is visible from the workflow run.
-go test -run '^$' -bench '^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k)$' -benchtime 1x . >bench-smoke.txt
+go test -run '^$' -bench '^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k|BenchmarkPlanSolve50k|BenchmarkServeSolve20k)$' -benchtime 1x . >bench-smoke.txt
 echo "bench smoke (-benchtime=1x): ok"
 echo "verify: all checks passed"
