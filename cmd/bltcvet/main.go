@@ -1,12 +1,16 @@
 // Command bltcvet runs the treecode's project-specific static analysis
 // suite (internal/analysis) over the module: determinism of randomness,
 // modeled-time purity, map-iteration ordering before exports, tracer
-// nil-safety, lock copies and goroutine loop-variable capture.
+// nil-safety, lock copies, goroutine loop-variable capture, and the
+// flow-sensitive concurrency suite (lockcheck, goroleak, floatdet,
+// errdrop).
 //
 // Usage:
 //
 //	go run ./cmd/bltcvet ./...
 //	go run ./cmd/bltcvet ./internal/trace ./internal/dist/...
+//	go run ./cmd/bltcvet -json ./... > findings.json
+//	go run ./cmd/bltcvet -baseline findings.json ./...
 //	go run ./cmd/bltcvet -list
 //
 // Arguments are directories relative to the module root, with an optional
@@ -14,48 +18,94 @@
 // status is 0 when clean, 1 when findings were reported, and 2 on load or
 // type-check failure. Findings are suppressed per line with
 // "//lint:ignore <analyzer> <reason>" (see docs/static-analysis.md).
-// verify.sh runs this between `go vet` and the build.
+//
+// -json emits the findings as a JSON array (machine-readable, stable
+// order). -baseline reads a previous -json output and reports only
+// findings not in it: accepted debt stays quiet, new findings still fail.
+// Under GITHUB_ACTIONS=true, text mode prefixes each finding with a
+// ::error workflow annotation. verify.sh runs this between `go vet` and
+// the build.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"barytree/internal/analysis"
 )
 
+// Finding is the machine-readable form of one diagnostic. File paths are
+// module-root-relative so a baseline written on one checkout applies to
+// another.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// baselineKey identifies a finding for ratchet purposes. Line and column
+// are deliberately excluded: unrelated edits move accepted findings
+// around, and a baseline that rots on every reflow is a baseline nobody
+// regenerates honestly.
+func (f Finding) baselineKey() string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: bltcvet [-list] [packages]\n")
-		flag.PrintDefaults()
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bltcvet:", err)
+		os.Exit(2)
 	}
-	flag.Parse()
+	os.Exit(run(cwd, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver: dir anchors module-root discovery, args are
+// the command-line arguments after the program name, and the return value
+// is the process exit status.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bltcvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselinePath := fs.String("baseline", "", "accept findings recorded in this -json output; report only new ones")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bltcvet [-list] [-json] [-baseline findings.json] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := analysis.DefaultAnalyzers()
 	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		sorted := append([]*analysis.Analyzer(nil), analyzers...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, a := range sorted {
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, docSummary(a.Doc))
 		}
-		return
+		return 0
 	}
 
-	cwd, err := os.Getwd()
+	root, err := analysis.FindModuleRoot(dir)
 	if err != nil {
-		fatal(err)
-	}
-	root, err := analysis.FindModuleRoot(cwd)
-	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "bltcvet:", err)
+		return 2
 	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "bltcvet:", err)
+		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -64,7 +114,8 @@ func main() {
 	for _, pat := range patterns {
 		loaded, err := loader.LoadPattern(pat)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "bltcvet:", err)
+			return 2
 		}
 		for _, pkg := range loaded {
 			if !seen[pkg.Path] {
@@ -78,27 +129,106 @@ func main() {
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			broken = true
-			fmt.Fprintf(os.Stderr, "bltcvet: typecheck %s: %v\n", pkg.Path, terr)
+			fmt.Fprintf(stderr, "bltcvet: typecheck %s: %v\n", pkg.Path, terr)
 		}
 	}
 	if broken {
-		os.Exit(2)
+		return 2
 	}
 
 	diags := analysis.Check(pkgs, analyzers)
+	findings := make([]Finding, 0, len(diags))
 	for _, d := range diags {
 		file := d.Pos.Filename
 		if rel, err := filepath.Rel(root, file); err == nil {
-			file = rel
+			file = filepath.ToSlash(rel)
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", file, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		findings = append(findings, Finding{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
 	}
-	if len(diags) > 0 {
-		os.Exit(1)
+
+	if *baselinePath != "" {
+		accepted, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "bltcvet:", err)
+			return 2
+		}
+		findings = filterBaseline(findings, accepted)
 	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "bltcvet:", err)
+			return 2
+		}
+	} else {
+		annotate := os.Getenv("GITHUB_ACTIONS") == "true"
+		for _, f := range findings {
+			if annotate {
+				fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::%s (%s)\n",
+					f.File, f.Line, f.Col, f.Message, f.Analyzer)
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bltcvet:", err)
-	os.Exit(2)
+// docSummary trims an analyzer's Doc to its first clause for -list: the
+// full contract lives in docs/static-analysis.md. A period only ends the
+// summary at a sentence boundary (followed by a space or the end), so
+// dotted identifiers like time.Now survive.
+func docSummary(doc string) string {
+	for i, r := range doc {
+		if r == ';' {
+			return doc[:i]
+		}
+		if r == '.' && (i+1 == len(doc) || doc[i+1] == ' ') {
+			return doc[:i]
+		}
+	}
+	return doc
+}
+
+// loadBaseline reads a previous -json output.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var fs []Finding
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	accepted := map[string]int{}
+	for _, f := range fs {
+		accepted[f.baselineKey()]++
+	}
+	return accepted, nil
+}
+
+// filterBaseline drops findings covered by the baseline multiset: each
+// accepted entry absorbs one occurrence, so adding a second identical
+// finding in the same file still fails the run.
+func filterBaseline(findings []Finding, accepted map[string]int) []Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		k := f.baselineKey()
+		if accepted[k] > 0 {
+			accepted[k]--
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
 }

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestListSorted(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(t.TempDir(), []string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, stderr %q", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var names []string
+	for _, l := range lines {
+		f := strings.Fields(l)
+		if len(f) < 2 {
+			t.Fatalf("-list line %q missing doc summary", l)
+		}
+		names = append(names, f[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("-list not sorted: %v", names)
+	}
+	for _, want := range []string{"lockcheck", "goroleak", "floatdet", "errdrop", "detrand"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("-list missing analyzer %q in %v", want, names)
+		}
+	}
+}
+
+func TestNoGoModExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(t.TempDir(), []string{"./..."}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d outside a module, want 2 (stderr %q)", code, errb.String())
+	}
+	if errb.Len() == 0 {
+		t.Error("expected an error message on stderr")
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(t.TempDir(), []string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d for a bad flag, want 2", code)
+	}
+}
+
+// TestBaselineRoundTrip drives -json output back through -baseline on a
+// tiny synthetic module: the recorded finding goes quiet, a new finding
+// still fails, and GitHub annotations appear in text mode under
+// GITHUB_ACTIONS.
+func TestBaselineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stdlib source type-check in -short mode")
+	}
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module tiny\n\ngo 1.22\n")
+	writeFile(t, dir, "p/p.go", `package p
+
+import "math/rand"
+
+// Roll trips detrand: the global source is banned.
+func Roll() int { return rand.Intn(6) }
+`)
+
+	var out, errb bytes.Buffer
+	if code := run(dir, []string{"-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d with a finding, want 1 (stderr %q)", code, errb.String())
+	}
+	var found []Finding
+	if err := json.Unmarshal(out.Bytes(), &found); err != nil {
+		t.Fatalf("-json output does not decode: %v\n%s", err, out.String())
+	}
+	if len(found) != 1 || found[0].Analyzer != "detrand" || found[0].File != "p/p.go" {
+		t.Fatalf("unexpected findings: %+v", found)
+	}
+
+	baseline := filepath.Join(dir, "findings.json")
+	if err := os.WriteFile(baseline, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The baselined finding is accepted: clean exit.
+	out.Reset()
+	errb.Reset()
+	if code := run(dir, []string{"-baseline", baseline, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d with baselined finding, want 0\nstdout %s stderr %s", code, out.String(), errb.String())
+	}
+
+	// A new finding is not absorbed by the baseline.
+	writeFile(t, dir, "p/q.go", `package p
+
+import "math/rand"
+
+// Spin adds a second, unbaselined finding.
+func Spin() float64 { return rand.Float64() }
+`)
+	out.Reset()
+	if code := run(dir, []string{"-json", "-baseline", baseline, "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d with a new finding over baseline, want 1", code)
+	}
+	found = nil
+	if err := json.Unmarshal(out.Bytes(), &found); err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0].File != "p/q.go" {
+		t.Fatalf("baseline should leave only the new finding, got %+v", found)
+	}
+
+	// Text mode under GITHUB_ACTIONS emits workflow annotations.
+	t.Setenv("GITHUB_ACTIONS", "true")
+	out.Reset()
+	if code := run(dir, []string{"-baseline", baseline, "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d in annotation mode, want 1", code)
+	}
+	if !strings.Contains(out.String(), "::error file=p/q.go,line=") {
+		t.Errorf("missing GitHub annotation in output:\n%s", out.String())
+	}
+}
+
+func TestMissingBaselineExitsTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stdlib source type-check in -short mode")
+	}
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module tiny\n\ngo 1.22\n")
+	writeFile(t, dir, "p/p.go", "package p\n")
+	var out, errb bytes.Buffer
+	if code := run(dir, []string{"-baseline", filepath.Join(dir, "nope.json"), "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d with missing baseline file, want 2", code)
+	}
+}
+
+func writeFile(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

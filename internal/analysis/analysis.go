@@ -81,9 +81,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // column and analyzer name. Malformed suppression directives (missing
 // reason) are reported as findings of the pseudo-analyzer "lint".
 func Check(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// A directive naming an analyzer that does not exist is a typo that
+	// would silently suppress nothing forever; validate names against the
+	// analyzers in this run plus the full default suite (so running a
+	// single analyzer does not flag directives aimed at the others).
+	known := map[string]bool{"lint": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range DefaultAnalyzers() {
+		known[a.Name] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		dirs := directives(pkg)
+		dirs := directives(pkg, known)
 		var raw []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, diags: &raw}
@@ -133,7 +144,9 @@ const ignorePrefix = "//lint:ignore"
 // directives parses every //lint:ignore comment in the package. A directive
 // suppresses matching diagnostics on its own line (trailing comment) or on
 // the line immediately below it (comment above the flagged statement).
-func directives(pkg *Package) directiveSet {
+// Directives naming an analyzer outside the known set are reported as
+// malformed: a misspelled name suppresses nothing, silently, forever.
+func directives(pkg *Package, known map[string]bool) directiveSet {
 	ds := directiveSet{byLoc: map[string]map[int]*ignoreDirective{}}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -154,6 +167,14 @@ func directives(pkg *Package) directiveSet {
 				}
 				d := &ignoreDirective{file: pos.Filename, line: pos.Line, analyzers: map[string]bool{}}
 				for _, name := range strings.Split(fields[0], ",") {
+					if !known[name] {
+						ds.malformed = append(ds.malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  fmt.Sprintf("malformed //lint:ignore directive: unknown analyzer %q", name),
+						})
+						continue
+					}
 					d.analyzers[name] = true
 				}
 				if ds.byLoc[pos.Filename] == nil {
@@ -203,6 +224,10 @@ func DefaultAnalyzers() []*Analyzer {
 		MutexCopy(),
 		GoroutineCapture(),
 		HotAlloc(),
+		LockCheck(DefaultLockCheckBlockingPackages...),
+		GoroLeak(),
+		FloatDet(DefaultFloatDetPackages...),
+		ErrDrop(DefaultErrDropPackages...),
 	}
 }
 

@@ -156,6 +156,60 @@ func TestHotAlloc(t *testing.T) {
 	checkFixture(t, HotAlloc(), "hotalloc/clean")
 }
 
+func TestLockCheck(t *testing.T) {
+	checkFixture(t, LockCheck("fixture/lockcheck/flagged"), "lockcheck/flagged")
+	checkFixture(t, LockCheck("fixture/lockcheck/clean"), "lockcheck/clean")
+	checkFixture(t, LockCheck("fixture/lockcheck/suppress"), "lockcheck/suppress")
+}
+
+// TestLockCheckReleaseRuleUngated verifies rule 1 (release on all paths)
+// applies even in packages not configured for the blocking rule.
+func TestLockCheckReleaseRuleUngated(t *testing.T) {
+	pkg := loadFixture(t, "lockcheck/flagged")
+	diags := Check([]*Package{pkg}, []*Analyzer{LockCheck()})
+	leaks := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "is not released") {
+			leaks++
+		}
+		if strings.Contains(d.Message, "is held") {
+			t.Errorf("blocking rule fired outside its configured packages: %v", d)
+		}
+	}
+	if leaks != 3 {
+		t.Errorf("got %d release-rule findings without blocking config, want 3", leaks)
+	}
+}
+
+func TestGoroLeak(t *testing.T) {
+	checkFixture(t, GoroLeak(), "goroleak/flagged")
+	checkFixture(t, GoroLeak(), "goroleak/clean")
+	checkFixture(t, GoroLeak(), "goroleak/suppress")
+}
+
+func TestFloatDet(t *testing.T) {
+	checkFixture(t, FloatDet("fixture/floatdet/flagged"), "floatdet/flagged")
+	checkFixture(t, FloatDet("fixture/floatdet/clean"), "floatdet/clean")
+	checkFixture(t, FloatDet("fixture/floatdet/suppress"), "floatdet/suppress")
+}
+
+// TestFloatDetOnlyConfiguredPackages: the flagged fixture is full of
+// order-dependent reductions, but outside the compute packages (and
+// absent //hot:path) the analyzer stays quiet.
+func TestFloatDetOnlyConfiguredPackages(t *testing.T) {
+	pkg := loadFixture(t, "floatdet/flagged")
+	diags := Check([]*Package{pkg}, []*Analyzer{FloatDet("barytree/internal/kernel")})
+	if len(diags) != 0 {
+		t.Errorf("floatdet ran outside its configured packages: %v", diags)
+	}
+}
+
+func TestErrDrop(t *testing.T) {
+	checkFixture(t, ErrDrop("fixture/errdrop/flagged"), "errdrop/flagged")
+	checkFixture(t, ErrDrop("fixture/errdrop/clean"), "errdrop/clean")
+	checkFixture(t, ErrDrop("fixture/errdrop/suppress"), "errdrop/suppress")
+}
+
 // TestSuppression verifies //lint:ignore semantics on the suppress
 // fixture: justified directives on the finding's line or the line above
 // suppress it, a wrong analyzer name does not, and a directive without a
@@ -175,17 +229,35 @@ func TestSuppression(t *testing.T) {
 			t.Errorf("unexpected analyzer %q: %v", d.Analyzer, d)
 		}
 	}
-	// Above and Trailing are suppressed; Wrong and Bare survive.
-	if len(detrand) != 2 {
-		t.Fatalf("got %d surviving detrand findings, want 2 (Wrong and Bare): %v", len(detrand), detrand)
+	// Above and Trailing are suppressed; Wrong, Bare and Unknown survive.
+	if len(detrand) != 3 {
+		t.Fatalf("got %d surviving detrand findings, want 3 (Wrong, Bare, Unknown): %v", len(detrand), detrand)
 	}
 	for _, d := range detrand {
 		if !strings.Contains(d.Message, "global math/rand source") {
 			t.Errorf("unexpected detrand message: %v", d)
 		}
 	}
-	if len(lint) != 1 || !strings.Contains(lint[0].Message, "malformed //lint:ignore") {
-		t.Errorf("want exactly one malformed-directive finding, got %v", lint)
+	// Two malformed directives: Bare (no reason) and Unknown (bad name).
+	if len(lint) != 2 {
+		t.Fatalf("want exactly two malformed-directive findings, got %v", lint)
+	}
+	for _, d := range lint {
+		if !strings.Contains(d.Message, "malformed //lint:ignore") {
+			t.Errorf("unexpected lint message: %v", d)
+		}
+	}
+	if !strings.Contains(lint[0].Message, "<analyzer> <reason>") && !strings.Contains(lint[1].Message, "<analyzer> <reason>") {
+		t.Errorf("missing no-reason malformed finding: %v", lint)
+	}
+	foundUnknown := false
+	for _, d := range lint {
+		if strings.Contains(d.Message, `unknown analyzer "detrandd"`) {
+			foundUnknown = true
+		}
+	}
+	if !foundUnknown {
+		t.Errorf("missing unknown-analyzer malformed finding: %v", lint)
 	}
 }
 

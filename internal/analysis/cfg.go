@@ -1,0 +1,491 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the flow-sensitive layer of the suite: a zero-dependency
+// control-flow graph over go/ast function bodies. The syntactic analyzers
+// (modeledtime, detrand, ...) match single statements; the concurrency
+// analyzers (lockcheck, goroleak) need to answer path questions — "is this
+// mutex released on every path to return?", "does every path after the
+// spawn pass through the join?" — which require basic blocks and edges.
+//
+// The graph is deliberately small: blocks hold the ast.Nodes executed in
+// straight-line order (statements, plus the conditions and comm operations
+// that branch points evaluate), edges follow Go's structured control flow
+// (if/for/range/switch/type-switch/select, break/continue/goto/fallthrough
+// with labels, return, explicit panic and os.Exit-style terminators), and
+// a synthetic Exit block receives every function-leaving edge. Function
+// literals nested in the body are *not* spliced in — a literal's body runs
+// at an unknown later time (often on another goroutine), so it gets its
+// own graph via funcBodies.
+
+// Block is one basic block: a maximal straight-line sequence of nodes with
+// a single entry at the top. Nodes are statements plus the expressions a
+// branch evaluates before choosing a successor (an if/for condition, a
+// switch tag, a select comm operation), in execution order.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (entry is 0).
+	Index int
+	// Kind labels what created the block ("entry", "exit", "if.then",
+	// "for.head", "select.comm", ...) for tests and debugging.
+	Kind string
+	// Nodes are the block's statements and branch expressions in order.
+	Nodes []ast.Node
+	// Succs are the possible successors in execution order.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is the synthetic block every return, terminal panic and
+	// fall-off-the-end edge leads to. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block, entry first, exit last.
+	Blocks []*Block
+	// Defers are the body's defer statements in registration order
+	// (excluding defers inside nested function literals). Deferred calls
+	// run on every exit path, including panics — analyzers consult this
+	// list when deciding what holds at Exit.
+	Defers []*ast.DeferStmt
+}
+
+// Preds returns the predecessor map of the graph (computed, not cached).
+func (g *Graph) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// cfgBuilder carries the state of one graph construction.
+type cfgBuilder struct {
+	g   *Graph
+	cur *Block
+
+	// breakTargets / continueTargets are the innermost-last stacks of
+	// enclosing breakable (for/range/switch/select) and continuable
+	// (for/range) statements.
+	breakTargets    []*Block
+	continueTargets []*Block
+
+	// labels maps a label name to the targets its loop (or other labeled
+	// statement) registered; gotos maps pending goto edges resolved after
+	// the walk when the label's block is known.
+	labels map[string]*labelTarget
+	gotos  []pendingGoto
+
+	// pendingLabel is set between seeing "L:" and building the labeled
+	// statement, so the loop builders can register L's break/continue
+	// targets.
+	pendingLabel string
+
+	// fallthroughTarget is the next case clause's block while building a
+	// switch case body.
+	fallthroughTarget *Block
+}
+
+type labelTarget struct {
+	start *Block // first block of the labeled statement (goto target)
+	brk   *Block // break L target (nil until the labeled loop/switch builds)
+	cont  *Block // continue L target (nil unless labeled loop)
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// NewCFG builds the control-flow graph of a function body.
+func NewCFG(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &cfgBuilder{g: g, labels: map[string]*labelTarget{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Kind: "exit"}
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit) // fall off the end
+	for _, pg := range b.gotos {
+		if lt := b.labels[pg.label]; lt != nil && lt.start != nil {
+			b.edge(pg.from, lt.start)
+		}
+	}
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge adds a→to unless a is nil.
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// terminate marks the current block finished with no fall-through: the
+// following statements (if any) are unreachable and land in a fresh block
+// with no predecessors.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// Consume the pending label for anything but the statements that
+	// register their own targets below.
+	label := b.pendingLabel
+	b.pendingLabel = ""
+
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so goto L has a well-defined target.
+		start := b.newBlock("label." + x.Label.Name)
+		b.edge(b.cur, start)
+		b.cur = start
+		lt := &labelTarget{start: start}
+		b.labels[x.Label.Name] = lt
+		b.pendingLabel = x.Label.Name
+		b.stmt(x.Stmt)
+
+	case *ast.IfStmt:
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		b.add(x.Cond)
+		cond := b.cur
+		after := b.newBlock("if.after")
+		then := b.newBlock("if.then")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(x.Body.List)
+		b.edge(b.cur, after)
+		if x.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(x.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		head := b.newBlock("for.head")
+		b.edge(b.cur, head)
+		b.cur = head
+		if x.Cond != nil {
+			b.add(x.Cond)
+		}
+		after := b.newBlock("for.after")
+		cont := head
+		var post *Block
+		if x.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, x.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		if x.Cond != nil {
+			b.edge(head, after)
+		}
+		if label != "" {
+			b.labels[label].brk, b.labels[label].cont = after, cont
+		}
+		body := b.newBlock("for.body")
+		b.edge(head, body)
+		b.cur = body
+		b.pushLoop(after, cont)
+		b.stmtList(x.Body.List)
+		b.popLoop()
+		b.edge(b.cur, cont)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		b.edge(b.cur, head)
+		// The RangeStmt node itself stands for the per-iteration
+		// evaluation (the next key/value assignment).
+		head.Nodes = append(head.Nodes, x)
+		after := b.newBlock("range.after")
+		b.edge(head, after) // the range may be empty or exhausted
+		if label != "" {
+			b.labels[label].brk, b.labels[label].cont = after, head
+		}
+		body := b.newBlock("range.body")
+		b.edge(head, body)
+		b.cur = body
+		b.pushLoop(after, head)
+		b.stmtList(x.Body.List)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		if x.Tag != nil {
+			b.add(x.Tag)
+		}
+		b.buildSwitch(x.Body.List, label, false)
+
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		b.add(x.Assign)
+		b.buildSwitch(x.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		b.buildSwitch(x.Body.List, label, true)
+
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.edge(b.cur, b.g.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.add(x)
+		switch x.Tok {
+		case token.BREAK:
+			if x.Label != nil {
+				if lt := b.labels[x.Label.Name]; lt != nil && lt.brk != nil {
+					b.edge(b.cur, lt.brk)
+				}
+			} else if n := len(b.breakTargets); n > 0 {
+				b.edge(b.cur, b.breakTargets[n-1])
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if x.Label != nil {
+				if lt := b.labels[x.Label.Name]; lt != nil && lt.cont != nil {
+					b.edge(b.cur, lt.cont)
+				}
+			} else if n := len(b.continueTargets); n > 0 {
+				b.edge(b.cur, b.continueTargets[n-1])
+			}
+			b.terminate()
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: x.Label.Name})
+			b.terminate()
+		case token.FALLTHROUGH:
+			if b.fallthroughTarget != nil {
+				b.edge(b.cur, b.fallthroughTarget)
+			}
+			b.terminate()
+		}
+
+	case *ast.DeferStmt:
+		b.add(x)
+		b.g.Defers = append(b.g.Defers, x)
+
+	case *ast.ExprStmt:
+		b.add(x)
+		if isTerminalCall(x.X) {
+			b.edge(b.cur, b.g.Exit)
+			b.terminate()
+		}
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements,
+		// empty statements: straight-line.
+		b.add(s)
+	}
+}
+
+// buildSwitch handles switch, type switch and select bodies: clauses run
+// as alternative successors of the current block and rejoin after. For a
+// switch without a default, the head also flows directly to after (no case
+// matched). A select blocks until one comm is ready, so its head only
+// flows to clauses; a select clause's comm operation is the first node of
+// its block.
+func (b *cfgBuilder) buildSwitch(clauses []ast.Stmt, label string, isSelect bool) {
+	head := b.cur
+	after := b.newBlock("switch.after")
+	if label != "" {
+		b.labels[label].brk = after
+	}
+
+	// Create the clause blocks first so fallthrough can target the next.
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		kind := "switch.case"
+		if isSelect {
+			kind = "select.comm"
+		}
+		blocks[i] = b.newBlock(kind)
+		b.edge(head, blocks[i])
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	if !hasDefault && !isSelect {
+		b.edge(head, after)
+	}
+
+	savedFT := b.fallthroughTarget
+	b.pushBreak(after)
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		if i+1 < len(blocks) {
+			b.fallthroughTarget = blocks[i+1]
+		} else {
+			b.fallthroughTarget = nil
+		}
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			b.stmtList(cc.Body)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+		}
+		b.edge(b.cur, after)
+	}
+	b.popBreak()
+	b.fallthroughTarget = savedFT
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, brk)
+	b.continueTargets = append(b.continueTargets, cont)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+func (b *cfgBuilder) pushBreak(brk *Block) {
+	b.breakTargets = append(b.breakTargets, brk)
+}
+
+func (b *cfgBuilder) popBreak() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+}
+
+// isTerminalCall reports whether the expression is a call that never
+// returns: the panic builtin, os.Exit, log.Fatal*, runtime.Goexit. The
+// check is syntactic (the CFG has no type information); shadowing these
+// names is assumed not to happen.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg := exprIdent(fun.X)
+		if pkg == nil {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// funcBodies yields every function-like body of the package: declarations
+// and the function literals nested anywhere inside them (each literal body
+// is its own flow unit — it runs at an unknown later time, often on
+// another goroutine, so its statements never belong to the enclosing
+// graph). name is the enclosing declaration's name, with ".func" appended
+// for literals.
+func funcBodies(pkg *Package, fn func(name string, decl *ast.FuncDecl, node ast.Node, body *ast.BlockStmt)) {
+	funcDecls(pkg, func(fd *ast.FuncDecl) {
+		fn(fd.Name.Name, fd, fd, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				fn(fd.Name.Name+".func", fd, fl, fl.Body)
+			}
+			return true
+		})
+	})
+}
+
+// walkShallow visits the AST below n without descending into function
+// literals: the flow-sensitive analyzers reason per function body, and a
+// nested literal's operations happen on its own timeline.
+func walkShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		return visit(c)
+	})
+}
+
+// walkCFGNode visits one CFG block node shallowly. A RangeStmt node in a
+// range.head block stands only for the per-iteration evaluation — its
+// body's statements live in the range.body block — so only the range
+// operands are walked, not the body.
+func walkCFGNode(n ast.Node, visit func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if !visit(rs) {
+			return
+		}
+		walkShallow(rs.X, visit)
+		if rs.Key != nil {
+			walkShallow(rs.Key, visit)
+		}
+		if rs.Value != nil {
+			walkShallow(rs.Value, visit)
+		}
+		return
+	}
+	walkShallow(n, visit)
+}

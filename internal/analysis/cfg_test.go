@@ -1,0 +1,522 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns its CFG.
+// src is the bare statement list.
+func parseBody(t *testing.T, src string) *Graph {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return NewCFG(fd.Body)
+}
+
+// reachable returns the set of blocks reachable from g.Entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// pathsToExit reports whether Exit is reachable from Entry.
+func pathsToExit(g *Graph) bool {
+	return reachable(g)[g.Exit]
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := parseBody(t, "x := 1\ny := x + 1\n_ = y")
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry block has %d nodes, want 3", len(g.Entry.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("straight-line body should flow entry -> exit, got succs %v", g.Entry.Succs)
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	g := parseBody(t, `
+x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+_ = x`)
+	// Entry (cond) must have two successors: then and else.
+	if len(g.Entry.Succs) != 2 {
+		t.Fatalf("if head has %d successors, want 2 (then, else)", len(g.Entry.Succs))
+	}
+	// Both branches must rejoin: exactly one block flows to Exit.
+	var toExit int
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				toExit++
+			}
+		}
+	}
+	if toExit != 1 {
+		t.Errorf("if/else should rejoin before exit; %d blocks flow to exit, want 1", toExit)
+	}
+}
+
+func TestCFGIfWithoutElse(t *testing.T) {
+	g := parseBody(t, `
+x := 1
+if x > 0 {
+	x = 2
+}
+_ = x`)
+	// The condition block must flow both into the then-branch and around it.
+	if len(g.Entry.Succs) != 2 {
+		t.Errorf("if head has %d successors, want 2 (then, after)", len(g.Entry.Succs))
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	g := parseBody(t, `
+x := 1
+if x > 0 {
+	return
+}
+_ = x`)
+	// Two distinct paths must reach Exit: the early return and the fall-off.
+	var toExit int
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				toExit++
+			}
+		}
+	}
+	if toExit != 2 {
+		t.Errorf("%d blocks flow to exit, want 2 (early return + fall-off)", toExit)
+	}
+	// The return's block must not fall through to the statement after the if.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+					t.Errorf("return block succs = %v, want [exit]", b.Succs)
+				}
+			}
+		}
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := parseBody(t, `
+s := 0
+for i := 0; i < 10; i++ {
+	s += i
+}
+_ = s`)
+	// Find the loop head: the block holding the condition with two succs.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	if len(head.Succs) != 2 {
+		t.Errorf("loop head has %d successors, want 2 (body, after)", len(head.Succs))
+	}
+	// There must be a back edge: head reachable from its own body.
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == head {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	for _, s := range head.Succs {
+		if s.Kind == "for.body" && walk(s) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no back edge from loop body to head")
+	}
+	if !pathsToExit(g) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGInfiniteLoopWithBreak(t *testing.T) {
+	g := parseBody(t, `
+for {
+	if true {
+		break
+	}
+}`)
+	// Exit must be reachable only through the break.
+	if !pathsToExit(g) {
+		t.Error("exit unreachable despite break")
+	}
+	// Without the break, the head must not flow to after directly.
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			for _, s := range b.Succs {
+				if s.Kind == "for.after" {
+					t.Error("condition-less for must not flow head -> after")
+				}
+			}
+		}
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	g := parseBody(t, `
+m := map[int]int{}
+s := 0
+for _, v := range m {
+	s += v
+}
+_ = s`)
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no range.head block")
+	}
+	if len(head.Succs) != 2 {
+		t.Errorf("range head has %d successors, want 2 (after, body)", len(head.Succs))
+	}
+	if len(head.Nodes) != 1 {
+		t.Errorf("range head should hold the RangeStmt node, got %d nodes", len(head.Nodes))
+	}
+	if !pathsToExit(g) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	g := parseBody(t, `
+x := 1
+switch x {
+case 1:
+	x = 10
+case 2:
+	x = 20
+}
+_ = x`)
+	// No default: the head must also flow directly to after.
+	var cases, headToAfter int
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases++
+		}
+	}
+	for _, s := range g.Entry.Succs {
+		if s.Kind == "switch.after" {
+			headToAfter++
+		}
+	}
+	if cases != 2 {
+		t.Errorf("%d case blocks, want 2", cases)
+	}
+	if headToAfter != 1 {
+		t.Errorf("switch without default must flow head -> after (got %d such edges)", headToAfter)
+	}
+}
+
+func TestCFGSwitchDefaultAndFallthrough(t *testing.T) {
+	g := parseBody(t, `
+x := 1
+switch x {
+case 1:
+	x = 10
+	fallthrough
+case 2:
+	x = 20
+default:
+	x = 0
+}
+_ = x`)
+	// With a default, the head must NOT flow directly to after.
+	for _, s := range g.Entry.Succs {
+		if s.Kind == "switch.after" {
+			t.Error("switch with default must not flow head -> after")
+		}
+	}
+	// The first case must have an edge to the second (fallthrough).
+	var caseBlocks []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			caseBlocks = append(caseBlocks, b)
+		}
+	}
+	if len(caseBlocks) != 3 {
+		t.Fatalf("%d case blocks, want 3", len(caseBlocks))
+	}
+	ft := false
+	for _, s := range caseBlocks[0].Succs {
+		if s == caseBlocks[1] {
+			ft = true
+		}
+	}
+	if !ft {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := parseBody(t, `
+a := make(chan int)
+b := make(chan int)
+select {
+case v := <-a:
+	_ = v
+case b <- 1:
+}`)
+	var comms int
+	for _, blk := range g.Blocks {
+		if blk.Kind == "select.comm" {
+			comms++
+			if len(blk.Nodes) == 0 {
+				t.Error("select comm block should start with its comm operation")
+			}
+		}
+	}
+	if comms != 2 {
+		t.Errorf("%d comm blocks, want 2", comms)
+	}
+	// No default: the head must not bypass the comm clauses.
+	for _, s := range g.Entry.Succs {
+		if s.Kind == "switch.after" {
+			t.Error("select without default must not flow head -> after")
+		}
+	}
+}
+
+func TestCFGDefer(t *testing.T) {
+	g := parseBody(t, `
+defer println("a")
+if true {
+	defer println("b")
+	return
+}
+defer func() {
+	defer println("inner")
+}()`)
+	// Three defers belong to this function; the one inside the literal
+	// does not.
+	if len(g.Defers) != 3 {
+		t.Errorf("%d defers recorded, want 3 (literal-internal defer excluded)", len(g.Defers))
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := parseBody(t, `
+x := 1
+if x > 0 {
+	panic("boom")
+}
+_ = x`)
+	// The panic block must flow to Exit and not fall through.
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+					if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+						t.Errorf("panic block succs = %v, want [exit]", b.Succs)
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("panic statement not found in any block")
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g := parseBody(t, `
+outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if j == 1 {
+			continue outer
+		}
+		if j == 2 {
+			break outer
+		}
+	}
+}`)
+	if !pathsToExit(g) {
+		t.Error("exit unreachable")
+	}
+	// break outer must target the outer loop's after block, which is the
+	// only path to exit besides the outer condition.
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Error("labeled break did not make exit reachable")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := parseBody(t, `
+i := 0
+loop:
+if i < 3 {
+	i++
+	goto loop
+}`)
+	// The goto must create a back edge to the labeled block.
+	var labelBlock *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.loop" {
+			labelBlock = b
+		}
+	}
+	if labelBlock == nil {
+		t.Fatal("no block for label loop")
+	}
+	back := false
+	for _, b := range g.Blocks {
+		if b == labelBlock {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == labelBlock && b.Index > labelBlock.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Error("goto back edge to labeled block missing")
+	}
+	if !pathsToExit(g) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGNestedFuncLitNotSpliced(t *testing.T) {
+	g := parseBody(t, `
+f := func() {
+	return
+}
+f()`)
+	// The literal's return must not appear in this function's blocks.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				t.Error("nested literal's return leaked into the enclosing CFG")
+			}
+		}
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("body should be straight-line, got succs %v", g.Entry.Succs)
+	}
+}
+
+// TestForwardReachingFlag exercises the dataflow driver with a trivial
+// "flag set on some path" may-analysis over an if/else diamond and a loop.
+func TestForwardReachingFlag(t *testing.T) {
+	g := parseBody(t, `
+x := 0
+if x > 0 {
+	x++ // the "event"
+}
+_ = x`)
+	// State: did the event (an IncDecStmt) happen on some path?
+	prob := FlowProblem[bool]{
+		Init:  false,
+		Copy:  func(s bool) bool { return s },
+		Join:  func(a, b bool) bool { return a || b },
+		Equal: func(a, b bool) bool { return a == b },
+		Transfer: func(b *Block, s bool) bool {
+			for _, n := range b.Nodes {
+				if _, ok := n.(*ast.IncDecStmt); ok {
+					s = true
+				}
+			}
+			return s
+		},
+	}
+	res := Forward(g, prob)
+	if !res.In[g.Exit] {
+		t.Error("may-analysis: event on one branch should reach exit as true")
+	}
+	// And a must-analysis (join = &&) over the same graph: the event is
+	// not on every path, so exit must be false.
+	prob.Join = func(a, b bool) bool { return a && b }
+	res = Forward(g, prob)
+	if res.In[g.Exit] {
+		t.Error("must-analysis: event missing on else path should reach exit as false")
+	}
+}
+
+// TestForwardLoopFixpoint verifies the driver reaches a fixpoint over a
+// loop back edge (the loop body's effect must propagate around the cycle).
+func TestForwardLoopFixpoint(t *testing.T) {
+	g := parseBody(t, `
+x := 0
+for i := 0; i < 3; i++ {
+	x += 2
+}
+_ = x`)
+	// The event is the compound assignment in the loop body; the i++ in
+	// the post clause must not count, so match ADD_ASSIGN specifically.
+	prob := FlowProblem[bool]{
+		Init:  false,
+		Copy:  func(s bool) bool { return s },
+		Join:  func(a, b bool) bool { return a || b },
+		Equal: func(a, b bool) bool { return a == b },
+		Transfer: func(b *Block, s bool) bool {
+			for _, n := range b.Nodes {
+				if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ADD_ASSIGN {
+					s = true
+				}
+			}
+			return s
+		},
+	}
+	res := Forward(g, prob)
+	if !res.In[g.Exit] {
+		t.Error("loop body's event should reach exit through the back edge")
+	}
+}

@@ -1,0 +1,88 @@
+package analysis
+
+// Forward dataflow over a Graph: a small worklist fixpoint driver that the
+// flow-sensitive analyzers (lockcheck today) share. The framing is
+// conventional: a state S per block boundary, a join at control-flow
+// merges, a transfer function flowing one block, iteration to a fixed
+// point. The lattice is supplied by the analyzer; the driver only promises
+// to call Transfer with a private copy of the joined input, so transfer
+// functions may mutate their argument freely.
+
+// FlowProblem describes one forward dataflow problem.
+type FlowProblem[S any] struct {
+	// Init is the state at function entry.
+	Init S
+	// Copy returns an independent copy of a state.
+	Copy func(S) S
+	// Join merges two states at a control-flow merge point. It may mutate
+	// and return its first argument.
+	Join func(S, S) S
+	// Equal reports whether two states are equal (fixpoint test).
+	Equal func(S, S) bool
+	// Transfer flows one block: given the state at block entry it returns
+	// the state at block exit. It may mutate and return its argument.
+	Transfer func(*Block, S) S
+}
+
+// FlowResult is the fixpoint of a forward problem: the state at each
+// block's entry and exit.
+type FlowResult[S any] struct {
+	In, Out map[*Block]S
+}
+
+// Forward runs the problem to its fixpoint and returns the per-block
+// boundary states. Blocks unreachable from Entry keep their zero state in
+// the maps (they are never joined into reachable states). Termination is
+// the analyzer's lattice obligation: Join must be monotone with finite
+// ascending chains, which every analyzer here satisfies (finite key sets
+// with three-point per-key lattices).
+func Forward[S any](g *Graph, p FlowProblem[S]) FlowResult[S] {
+	res := FlowResult[S]{In: make(map[*Block]S, len(g.Blocks)), Out: make(map[*Block]S, len(g.Blocks))}
+	preds := g.Preds()
+
+	// Worklist seeded in block order (entry first ≈ reverse postorder for
+	// the structured CFGs NewCFG builds).
+	inList := make([]bool, len(g.Blocks))
+	list := make([]*Block, 0, len(g.Blocks))
+	push := func(b *Block) {
+		if !inList[b.Index] {
+			inList[b.Index] = true
+			list = append(list, b)
+		}
+	}
+	seen := make([]bool, len(g.Blocks))
+	push(g.Entry)
+	for len(list) > 0 {
+		b := list[0]
+		list = list[1:]
+		inList[b.Index] = false
+
+		in := p.Copy(p.Init)
+		first := true
+		if b == g.Entry {
+			first = false
+		}
+		for _, pb := range preds[b] {
+			if !seen[pb.Index] {
+				continue
+			}
+			if first {
+				in = p.Copy(res.Out[pb])
+				first = false
+			} else {
+				in = p.Join(in, res.Out[pb])
+			}
+		}
+		out := p.Transfer(b, p.Copy(in))
+		if seen[b.Index] && p.Equal(res.Out[b], out) {
+			res.In[b] = in
+			continue
+		}
+		seen[b.Index] = true
+		res.In[b], res.Out[b] = in, out
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return res
+}

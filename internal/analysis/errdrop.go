@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DefaultErrDropPackages lists the packages where errors may not be
+// silently discarded: the serving boundary, where a dropped error is a
+// request that failed without a trace.
+var DefaultErrDropPackages = []string{
+	"barytree/internal/serve",
+	"barytree/cmd/bltcd",
+}
+
+// ErrDrop returns the analyzer that forbids discarding error results via
+// the blank identifier in the serving packages. Both shapes are reported:
+//
+//	_ = w.Write(buf)          // single error assigned to blank
+//	n, _ := conv(x)           // error component of a tuple blanked
+//
+// Bare expression statements (fmt.Fprintln(w, ...)) are left alone — that
+// is established Go idiom for writers whose errors genuinely carry no
+// information. Writing `_ =` is a deliberate act of discarding a value the
+// author noticed; in these packages it must either be handled or carry a
+// //lint:ignore errdrop justification.
+func ErrDrop(pkgs ...string) *Analyzer {
+	if pkgs == nil {
+		pkgs = DefaultErrDropPackages
+	}
+	gated := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		gated[p] = true
+	}
+	a := &Analyzer{
+		Name: "errdrop",
+		Doc: "serving packages must not discard error results with the blank identifier; " +
+			"handle the error or justify with //lint:ignore errdrop",
+	}
+	a.Run = func(pass *Pass) {
+		if !gated[pass.Pkg.Path] {
+			return
+		}
+		info := pass.Pkg.Info
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				checkErrDropAssign(pass, info, as)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkErrDropAssign(pass *Pass, info *types.Info, as *ast.AssignStmt) {
+	isBlank := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Tuple form: a, _ := g().
+		tv, ok := info.Types[as.Rhs[0]]
+		if !ok {
+			return
+		}
+		tup, ok := tv.Type.(*types.Tuple)
+		if !ok || tup.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isErrorType(tup.At(i).Type()) {
+				pass.Reportf(as.Pos(),
+					"error result of %s discarded with blank identifier; handle it or justify with //lint:ignore errdrop",
+					describeRHS(as.Rhs[0]))
+			}
+		}
+		return
+	}
+
+	// Pairwise form: _ = f(), or x, _ = a, b.
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		tv, ok := info.Types[as.Rhs[i]]
+		if !ok {
+			continue
+		}
+		if isErrorType(tv.Type) {
+			pass.Reportf(as.Pos(),
+				"error result of %s discarded with blank identifier; handle it or justify with //lint:ignore errdrop",
+				describeRHS(as.Rhs[i]))
+		}
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface (or a
+// named type whose underlying type is exactly it).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return true
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Identical(iface, errType)
+}
+
+// describeRHS renders the discarded expression's callee for messages.
+func describeRHS(e ast.Expr) string {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		return callName(call)
+	}
+	return "expression"
+}

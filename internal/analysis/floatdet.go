@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DefaultFloatDetPackages lists the compute packages where floating-point
+// reduction order is part of the correctness contract (the repository's
+// byte-identity guarantee: serial and parallel runs must agree bit for
+// bit). Within them — and inside any //hot:path function anywhere —
+// FloatDet polices the two ways an accumulation silently becomes
+// order-dependent.
+var DefaultFloatDetPackages = []string{
+	"barytree/internal/kernel",
+	"barytree/internal/core",
+	"barytree/internal/direct",
+	"barytree/internal/chebyshev",
+	"barytree/internal/interaction",
+	"barytree/internal/tree",
+	"barytree/internal/let",
+	"barytree/internal/variants",
+	"barytree/internal/sweep",
+}
+
+// FloatDet returns the analyzer enforcing deterministic floating-point
+// reduction in the compute packages. Two patterns are reported:
+//
+//   - A float compound assignment (+=, -=, *=, /=) whose target is
+//     declared outside a worker function literal — a goroutine body or a
+//     closure handed to the worker pool — is a shared accumulator: the
+//     interleaving of workers decides the summation order. Accumulate
+//     into a per-worker slot (partial[w] += ...) and merge in a fixed
+//     order instead.
+//   - A float compound assignment inside a range-over-map body folds
+//     values in Go's randomized map order. Collect the keys, sort them,
+//     and reduce in sorted order.
+//
+// Indexed targets (partial[w] += x) are exempt from the shared-accumulator
+// rule: indexing is exactly how the per-worker idiom looks, and disjoint
+// slots have a fixed merge order downstream.
+func FloatDet(pkgs ...string) *Analyzer {
+	if pkgs == nil {
+		pkgs = DefaultFloatDetPackages
+	}
+	gated := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		gated[p] = true
+	}
+	a := &Analyzer{
+		Name: "floatdet",
+		Doc: "float accumulation in compute packages must be order-deterministic: no shared " +
+			"+= across worker goroutines, no reduction in map-iteration order",
+	}
+	a.Run = func(pass *Pass) {
+		pkgGated := gated[pass.Pkg.Path]
+		funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+			if !pkgGated && !isHotPath(fd) {
+				return
+			}
+			floatDetFunc(pass, fd)
+		})
+	}
+	return a
+}
+
+func floatDetFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Workers: function literals whose body runs concurrently — `go
+	// func(){...}` bodies, and literals passed to the worker pool
+	// (internal/pool) or to anything named like a parallel-for.
+	workers := map[*ast.FuncLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if fl, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				workers[fl] = true
+			}
+		case *ast.CallExpr:
+			if isWorkerPoolCall(info, x) {
+				for _, arg := range x.Args {
+					if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						workers[fl] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Map-range bodies: ranges whose operand is a map.
+	type mapRange struct{ body *ast.BlockStmt }
+	var mapRanges []mapRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			if tv, okT := info.Types[rs.X]; okT {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					mapRanges = append(mapRanges, mapRange{rs.Body})
+				}
+			}
+		}
+		return true
+	})
+	within := func(n ast.Node, body *ast.BlockStmt) bool {
+		return n.Pos() >= body.Pos() && n.End() <= body.End()
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		lhs := ast.Unparen(as.Lhs[0])
+		tv, okT := info.Types[lhs]
+		if !okT || !isFloat(tv.Type) {
+			return true
+		}
+
+		// Rule 2: reduction in map-iteration order. Applies regardless of
+		// the target's shape — even an indexed slot folds values in random
+		// order when the loop itself is over a map.
+		for _, mr := range mapRanges {
+			if within(as, mr.body) && !insideAnyFuncLit(fd.Body, as, nil) {
+				pass.Reportf(as.Pos(),
+					"float accumulation inside range over map folds in randomized map order; collect and sort the keys, then reduce")
+				return true
+			}
+		}
+
+		// Rule 1: shared accumulator across workers. Only plain
+		// ident/selector targets count; an indexed slot is the sanctioned
+		// per-worker layout.
+		fl := enclosingWorker(fd.Body, as, workers)
+		if fl == nil {
+			return true
+		}
+		if hasIndex(lhs) {
+			return true
+		}
+		root := rootObject(info, lhs)
+		if root == nil || root.Pos() == token.NoPos {
+			return true
+		}
+		if root.Pos() >= fl.Pos() && root.Pos() < fl.End() {
+			return true // worker-local accumulator, merged elsewhere
+		}
+		pass.Reportf(as.Pos(),
+			"float accumulator %s is shared across worker goroutines: summation order depends on scheduling; accumulate per worker and merge in fixed order",
+			exprString(lhs))
+		return true
+	})
+}
+
+// isWorkerPoolCall reports whether the call dispatches work to the
+// repository's worker pool (internal/pool Blocks/For and friends) or any
+// callee whose name marks it a parallel-for.
+func isWorkerPoolCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "/pool") {
+		return true
+	}
+	name := fn.Name()
+	return strings.HasPrefix(name, "Parallel") || name == "Blocks" || name == "For"
+}
+
+// enclosingWorker returns the innermost worker literal containing n, or nil.
+func enclosingWorker(body *ast.BlockStmt, n ast.Node, workers map[*ast.FuncLit]bool) *ast.FuncLit {
+	var best *ast.FuncLit
+	for fl := range workers {
+		if n.Pos() >= fl.Pos() && n.End() <= fl.End() {
+			if best == nil || fl.Pos() > best.Pos() {
+				best = fl
+			}
+		}
+	}
+	return best
+}
+
+// insideAnyFuncLit reports whether n sits inside a function literal within
+// body other than allow. A nested literal's accumulation is that closure's
+// business (it may run once, later, elsewhere); rule 2 only polices code
+// that executes in the ranging goroutine itself.
+func insideAnyFuncLit(body *ast.BlockStmt, n ast.Node, allow *ast.FuncLit) bool {
+	inside := false
+	ast.Inspect(body, func(c ast.Node) bool {
+		if inside {
+			return false
+		}
+		fl, ok := c.(*ast.FuncLit)
+		if !ok || fl == allow {
+			return true
+		}
+		if n.Pos() >= fl.Pos() && n.End() <= fl.End() {
+			inside = true
+		}
+		return !inside
+	})
+	return inside
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func hasIndex(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			return true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// rootObject resolves the base object of an ident/selector chain
+// (s.acc → s, *p → p), or nil for anything more exotic.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders a simple ident/selector chain for messages.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return exprString(x.X)
+	}
+	return "accumulator"
+}

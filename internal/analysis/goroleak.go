@@ -1,0 +1,628 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak returns the analyzer that demands a join point for every
+// spawned goroutine. A goroutine with no join outlives its spawner
+// silently — under the serving stack's admission control that is a slow
+// leak, and in the compute phases it breaks the byte-identity argument
+// (results must not depend on whether a straggler finished).
+//
+// A `go func(){...}()` statement is accepted when the analyzer can tie the
+// goroutine back to its spawner:
+//
+//   - WaitGroup pairing: the body calls wg.Done (usually deferred) on a
+//     WaitGroup the spawning function Waits on. The Wait must be reached
+//     on every path from the spawn to the function's exit; wg.Add must
+//     happen on the spawning side, never inside the goroutine (calling
+//     Add inside races with Wait).
+//   - Channel pairing: the body sends on (or closes) a channel the
+//     spawner receives from, or receives from a channel the spawner
+//     sends on or closes. For an unbuffered channel the matching
+//     operation must be reached on every path from the spawn to exit —
+//     a receiver that can return early strands the sender forever. A
+//     send on a locally-created buffered channel never blocks, which is
+//     itself the join-free idiom (error channels of capacity 1).
+//   - Escape: a WaitGroup or channel that outlives the function
+//     (parameter, field, captured by another literal, passed to a call,
+//     returned) is assumed joined by its owner.
+//
+// `go f(...)` calls on named functions are accepted when a channel, a
+// WaitGroup or any sync-carrying value flows in (receiver or argument);
+// a spawn with no synchronization anywhere in sight is reported.
+func GoroLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "goroleak",
+		Doc: "every spawned goroutine needs a join point: WaitGroup.Done/Wait pairing, " +
+			"a channel the spawner drains, or a primitive that escapes to an owner",
+	}
+	a.Run = func(pass *Pass) {
+		funcBodies(pass.Pkg, func(name string, decl *ast.FuncDecl, node ast.Node, body *ast.BlockStmt) {
+			goroLeakFunc(pass, body)
+		})
+	}
+	return a
+}
+
+func goroLeakFunc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Find the go statements and their blocks/positions in the CFG.
+	var spawns []struct {
+		b   *Block
+		idx int
+		gs  *ast.GoStmt
+	}
+	var g *Graph
+	walkShallow(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok && g == nil {
+			g = NewCFG(body)
+		}
+		return true
+	})
+	if g == nil {
+		return
+	}
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				spawns = append(spawns, struct {
+					b   *Block
+					idx int
+					gs  *ast.GoStmt
+				}{b, i, gs})
+			}
+		}
+	}
+
+	for _, sp := range spawns {
+		checkSpawn(pass, info, g, body, sp.b, sp.idx, sp.gs)
+	}
+}
+
+func checkSpawn(pass *Pass, info *types.Info, g *Graph, body *ast.BlockStmt, b *Block, idx int, gs *ast.GoStmt) {
+	fl, isLit := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+	if !isLit {
+		// Named function or method: accept if any synchronization can
+		// reach it — the receiver or an argument is (or contains) a
+		// channel, WaitGroup, mutex or function value.
+		if sel, ok := ast.Unparen(gs.Call.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := info.Types[sel.X]; ok && carriesSync(tv.Type) {
+				return
+			}
+		}
+		for _, arg := range gs.Call.Args {
+			if tv, ok := info.Types[arg]; ok && carriesSync(tv.Type) {
+				return
+			}
+		}
+		pass.Reportf(gs.Pos(),
+			"goroutine has no join point: nothing synchronizes %s with its spawner",
+			callName(gs.Call))
+		return
+	}
+
+	// Map the literal's parameters to the spawn-site arguments, so a
+	// channel passed in (go func(ch chan int){...}(c)) is analyzed as the
+	// outer channel object.
+	paramArg := map[types.Object]ast.Expr{}
+	if fl.Type.Params != nil {
+		ai := 0
+		for _, f := range fl.Type.Params.List {
+			for _, pname := range f.Names {
+				if ai < len(gs.Call.Args) {
+					if obj := info.Defs[pname]; obj != nil {
+						paramArg[obj] = gs.Call.Args[ai]
+					}
+				}
+				ai++
+			}
+		}
+	}
+
+	// Scan the goroutine body for join-relevant operations on objects
+	// from outside the literal (or parameters bound to outer arguments).
+	type chanUse struct {
+		obj        types.Object
+		sends      bool
+		recvs      bool
+		closes     bool
+		expr       ast.Expr // representative expression (for messages)
+		viaLiteral bool
+	}
+	var wgDone, wgAddInside []types.Object
+	chans := map[types.Object]*chanUse{}
+	anySyncRef := false
+
+	resolve := func(e ast.Expr) (types.Object, ast.Expr) {
+		obj := useOf(info, e)
+		if obj == nil {
+			return nil, e
+		}
+		if outer, ok := paramArg[obj]; ok {
+			if oo := useOf(info, outer); oo != nil {
+				return oo, outer
+			}
+			return nil, outer
+		}
+		return obj, e
+	}
+	chanUseOf := func(e ast.Expr) *chanUse {
+		obj, expr := resolve(e)
+		if obj == nil {
+			return nil
+		}
+		if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+			return nil
+		}
+		cu := chans[obj]
+		if cu == nil {
+			cu = &chanUse{obj: obj, expr: expr}
+			chans[obj] = cu
+		}
+		return cu
+	}
+
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if cu := chanUseOf(x.Chan); cu != nil {
+				cu.sends = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if cu := chanUseOf(x.X); cu != nil {
+					cu.recvs = true
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					if cu := chanUseOf(x.X); cu != nil {
+						cu.recvs = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id := exprIdent(x.Fun); id != nil && id.Name == "close" && len(x.Args) == 1 {
+				if cu := chanUseOf(x.Args[0]); cu != nil {
+					cu.closes = true
+				}
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok && isNamedType(tv.Type, "sync", "WaitGroup") {
+					obj, _ := resolve(sel.X)
+					switch sel.Sel.Name {
+					case "Done":
+						if obj != nil {
+							wgDone = append(wgDone, obj)
+						}
+					case "Add":
+						if obj != nil {
+							wgAddInside = append(wgAddInside, obj)
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			// Only variables of concretely synchronizing types count as a
+			// join hint: a reference to a plain function or interface value
+			// says nothing about the goroutine's lifetime.
+			if obj, ok := info.Uses[x].(*types.Var); ok && carriesSyncStrict(obj.Type()) {
+				anySyncRef = true
+			}
+		}
+		return true
+	})
+
+	// Add inside the goroutine races with the spawner's Wait.
+	for _, obj := range wgAddInside {
+		pass.Reportf(gs.Pos(),
+			"goroutine calls %s.Add: Add must happen on the spawning side before the Wait, never inside the goroutine",
+			obj.Name())
+	}
+
+	// WaitGroup join: Done in the body, Wait on every path after the spawn.
+	for _, obj := range wgDone {
+		if !objLocalTo(info, body, obj) {
+			continue // the owner joins it
+		}
+		if escapes(info, body, obj, fl) {
+			continue
+		}
+		isWait := func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Wait" {
+				return false
+			}
+			o, _ := resolve(sel.X)
+			return o == obj
+		}
+		if !joinOnAllPaths(g, b, idx, isWait) {
+			pass.Reportf(gs.Pos(),
+				"goroutine signals %s.Done but %s.Wait is not reached on every path to return: the goroutine can outlive its spawner",
+				obj.Name(), obj.Name())
+		}
+	}
+
+	// Channel joins. A WaitGroup join already bounds the goroutine's
+	// lifetime, so its channel traffic is off the hook.
+	wgJoined := len(wgDone) > 0 && allJoined(info, body, g, b, idx, wgDone, resolve)
+	for _, cu := range chans {
+		if wgJoined {
+			break
+		}
+		if !cu.sends && !cu.recvs {
+			continue // only closes the channel: close never blocks
+		}
+		if !objLocalTo(info, body, cu.obj) || escapes(info, body, cu.obj, fl) {
+			continue // owned elsewhere
+		}
+		if cu.sends && !cu.recvs && chanBuffered(info, body, cu.obj) {
+			continue // non-blocking send: the error-channel idiom
+		}
+		// The spawner's matching operation, required on every path.
+		matches := func(n ast.Node) bool {
+			return spawnerMatches(info, n, cu.obj, cu.sends, cu.recvs)
+		}
+		if deferredJoin(info, g, matches) || joinOnAllPaths(g, b, idx, matches) {
+			continue
+		}
+		what := "receive from"
+		if cu.recvs && !cu.sends {
+			what = "send on or close"
+		}
+		pass.Reportf(gs.Pos(),
+			"goroutine blocks on channel %s but the spawner does not %s it on every path to return",
+			cu.obj.Name(), what)
+	}
+
+	if len(wgDone) == 0 && len(chans) == 0 && !anySyncRef {
+		pass.Reportf(gs.Pos(),
+			"goroutine has no join point: no WaitGroup, channel or other synchronization ties it to its spawner")
+	}
+}
+
+// allJoined reports whether every WaitGroup the goroutine signals is
+// waited on along all paths (used to let a wg-joined goroutine's channel
+// traffic off the hook: the Wait already bounds its lifetime).
+func allJoined(info *types.Info, body *ast.BlockStmt, g *Graph, b *Block, idx int,
+	wgs []types.Object, resolve func(ast.Expr) (types.Object, ast.Expr)) bool {
+	for _, obj := range wgs {
+		if !objLocalTo(info, body, obj) || escapes(info, body, obj, nil) {
+			continue
+		}
+		isWait := func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Wait" {
+				return false
+			}
+			o, _ := resolve(sel.X)
+			return o == obj
+		}
+		if !joinOnAllPaths(g, b, idx, isWait) {
+			return false
+		}
+	}
+	return true
+}
+
+// spawnerMatches reports whether node n performs the spawner-side join for
+// a channel: a receive (when the goroutine sends) or a send/close (when
+// the goroutine receives). Passing the channel to a call also counts — the
+// callee owns the join then.
+func spawnerMatches(info *types.Info, n ast.Node, ch types.Object, goroutineSends, goroutineRecvs bool) bool {
+	switch x := n.(type) {
+	case *ast.UnaryExpr:
+		if goroutineSends && x.Op == token.ARROW && useOf(info, x.X) == ch {
+			return true
+		}
+	case *ast.RangeStmt:
+		if goroutineSends && useOf(info, x.X) == ch {
+			return true
+		}
+	case *ast.SendStmt:
+		if goroutineRecvs && useOf(info, x.Chan) == ch {
+			return true
+		}
+	case *ast.CallExpr:
+		if id := exprIdent(x.Fun); id != nil && id.Name == "close" && len(x.Args) == 1 {
+			if goroutineRecvs && useOf(info, x.Args[0]) == ch {
+				return true
+			}
+		}
+		for _, arg := range x.Args {
+			if useOf(info, arg) == ch {
+				return true // handed to a callee; it owns the join
+			}
+		}
+	}
+	return false
+}
+
+// deferredJoin reports whether a deferred call performs the join (e.g.
+// defer close(done), defer wg.Wait() in a literal).
+func deferredJoin(info *types.Info, g *Graph, matches func(ast.Node) bool) bool {
+	found := false
+	for _, d := range g.Defers {
+		walkShallow(d.Call, func(n ast.Node) bool {
+			if matches(n) {
+				found = true
+			}
+			return !found
+		})
+		if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			walkShallow(fl.Body, func(n ast.Node) bool {
+				if matches(n) {
+					found = true
+				}
+				return !found
+			})
+		}
+	}
+	return found
+}
+
+// joinOnAllPaths reports whether every path from the node at (b, idx) to
+// the graph's Exit passes through a node satisfying isJoin. A cycle that
+// never reaches Exit trivially satisfies the property (greatest fixpoint:
+// in-progress blocks count as joined).
+func joinOnAllPaths(g *Graph, b *Block, idx int, isJoin func(ast.Node) bool) bool {
+	nodeJoins := func(n ast.Node) bool {
+		found := false
+		walkCFGNode(n, func(c ast.Node) bool {
+			if isJoin(c) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	// 0 = unvisited, 1 = in progress (assume joined), 2 = joined, 3 = not.
+	state := make([]byte, len(g.Blocks))
+	var blockJoins func(blk *Block) bool
+	blockJoins = func(blk *Block) bool {
+		if blk == g.Exit {
+			return false
+		}
+		switch state[blk.Index] {
+		case 1, 2:
+			return true
+		case 3:
+			return false
+		}
+		state[blk.Index] = 1
+		ok := func() bool {
+			for _, n := range blk.Nodes {
+				if nodeJoins(n) {
+					return true
+				}
+			}
+			if len(blk.Succs) == 0 {
+				return true // dead end (unreachable tail): vacuously joined
+			}
+			for _, s := range blk.Succs {
+				if !blockJoins(s) {
+					return false
+				}
+			}
+			return true
+		}()
+		if ok {
+			state[blk.Index] = 2
+		} else {
+			state[blk.Index] = 3
+		}
+		return ok
+	}
+
+	// Rest of the spawn block after the go statement.
+	for _, n := range b.Nodes[idx+1:] {
+		if nodeJoins(n) {
+			return true
+		}
+	}
+	if len(b.Succs) == 0 {
+		return true
+	}
+	for _, s := range b.Succs {
+		if !blockJoins(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// objLocalTo reports whether obj is declared inside the function body
+// (as opposed to a parameter, receiver, field or outer-scope variable).
+func objLocalTo(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	return obj.Pos() >= body.Pos() && obj.Pos() < body.End()
+}
+
+// escapes reports whether obj leaks out of the function other than via the
+// goroutine literal under analysis: returned, captured by a different
+// function literal, passed as a call argument, has its address taken, or
+// assigned to a field/element of something non-local. An escaping
+// primitive has an owner elsewhere that is assumed to join.
+func escapes(info *types.Info, body *ast.BlockStmt, obj types.Object, exclude *ast.FuncLit) bool {
+	found := false
+	var inExcluded func(n ast.Node) bool
+	inExcluded = func(n ast.Node) bool {
+		return exclude != nil && n.Pos() >= exclude.Pos() && n.End() <= exclude.End()
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if x == exclude {
+				return true
+			}
+			if refersTo(info, x.Body, obj) {
+				found = true
+			}
+			return false
+		case *ast.ReturnStmt:
+			// Returning the primitive itself is an escape; returning a value
+			// received from it (`return <-ch`) is a join, not an escape.
+			for _, r := range x.Results {
+				if useOf(info, r) == obj {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if inExcluded(x) {
+				return true
+			}
+			if id := exprIdent(x.Fun); id != nil {
+				switch id.Name {
+				case "close", "len", "cap", "make":
+					return true // not an escape
+				}
+			}
+			for _, arg := range x.Args {
+				if useOf(info, arg) == obj {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// &wg passed around: the address-of makes it shareable. The
+			// receive operator is not an escape.
+			if x.Op == token.AND && refersTo(info, x.X, obj) && !inExcluded(x) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			if inExcluded(x) {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					_ = l
+					for _, rhs := range x.Rhs {
+						if refersTo(info, rhs, obj) {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// carriesSync reports whether a value of type t can carry synchronization:
+// it is (or contains, through structs and pointers) a channel, a
+// WaitGroup, a mutex, a Cond, a context, or a function value. Used for
+// named-call spawns, where any such value flowing in is assumed to tie the
+// goroutine to an owner.
+func carriesSync(t types.Type) bool { return syncWalk(t, false) }
+
+// carriesSyncStrict is the narrow form used when scanning a goroutine body
+// for join hints: only concretely synchronizing types count — a plain
+// function or interface value says nothing about lifetime.
+func carriesSyncStrict(t types.Type) bool { return syncWalk(t, true) }
+
+func syncWalk(t types.Type, strict bool) bool {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type, int) bool
+	walk = func(t types.Type, depth int) bool {
+		if t == nil || depth > 4 || seen[t] {
+			return false
+		}
+		seen[t] = true
+		for _, nm := range []string{"Mutex", "RWMutex", "WaitGroup", "Cond", "Once", "Pool", "Map"} {
+			if isNamedType(t, "sync", nm) {
+				return true
+			}
+		}
+		if isNamedType(t, "context", "Context") {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Chan:
+			return true
+		case *types.Signature, *types.Interface:
+			return !strict
+		case *types.Pointer:
+			return walk(u.Elem(), depth+1)
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type(), depth+1) {
+					return true
+				}
+			}
+		case *types.Slice:
+			return walk(u.Elem(), depth+1)
+		}
+		return false
+	}
+	return walk(t, 0)
+}
+
+// callName renders the spawned call for messages.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id := exprIdent(fun.X); id != nil {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "the function"
+}
+
+// chanBuffered reports whether the channel object's local definition is a
+// buffered make: `ch := make(chan T, n)` with a constant capacity >= 1. A
+// buffered channel absorbs the goroutine's single send without a waiting
+// receiver — the error-channel idiom.
+func chanBuffered(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	buffered := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if buffered {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, isID := ast.Unparen(lhs).(*ast.Ident)
+			if !isID || info.Defs[id] != obj {
+				continue
+			}
+			if i >= len(as.Rhs) {
+				continue
+			}
+			call, isCall := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !isCall || len(call.Args) < 2 {
+				continue
+			}
+			if fid := exprIdent(call.Fun); fid == nil || fid.Name != "make" {
+				continue
+			}
+			if tv, okT := info.Types[call.Args[1]]; okT && tv.Value != nil {
+				buffered = true
+			}
+		}
+		return !buffered
+	})
+	return buffered
+}

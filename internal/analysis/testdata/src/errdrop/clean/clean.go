@@ -1,0 +1,35 @@
+// Package clean holds error-handling idioms errdrop must not flag
+// (configured as a serving package in the test).
+package clean
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// handled propagates with context.
+func handled(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parse %q: %w", s, err)
+	}
+	return n, nil
+}
+
+// blankNonError blanks the count, keeps the error.
+func blankNonError(r io.Reader, buf []byte) error {
+	_, err := r.Read(buf)
+	return err
+}
+
+// bareCall is established idiom for writers whose errors carry nothing.
+func banner(w io.Writer) {
+	fmt.Fprintln(w, "ready")
+}
+
+// assertOK blanks the ok of a type assertion, not an error.
+func assertOK(x interface{}) int {
+	v, _ := x.(int)
+	return v
+}

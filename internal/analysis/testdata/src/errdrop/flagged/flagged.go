@@ -1,0 +1,41 @@
+// Package flagged holds blank-identifier error discards (configured as a
+// serving package in the test).
+package flagged
+
+import (
+	"errors"
+	"strconv"
+)
+
+func flush() error                   { return errors.New("flush") }
+func write(b []byte) (int, error)    { return len(b), nil }
+func lookup(k string) (string, bool) { return k, true }
+
+// drops assigns a lone error to blank.
+func drops() {
+	_ = flush() // want "error result of flush discarded with blank identifier"
+}
+
+// tupleDrop blanks the error component of a two-result call.
+func tupleDrop(s string) int {
+	n, _ := strconv.Atoi(s) // want "error result of strconv.Atoi discarded with blank identifier"
+	return n
+}
+
+// writeDrop does the same with a local function.
+func writeDrop(b []byte) int {
+	n, _ := write(b) // want "error result of write discarded with blank identifier"
+	return n
+}
+
+// pairwise discards an already-captured error.
+func pairwise() {
+	err := flush()
+	_ = err // want "error result of expression discarded with blank identifier"
+}
+
+// boolOK blanks a bool, which is fine — the analyzer only polices errors.
+func boolOK(k string) string {
+	v, _ := lookup(k)
+	return v
+}

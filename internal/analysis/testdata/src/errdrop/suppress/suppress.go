@@ -1,0 +1,13 @@
+// Package suppress carries one justified errdrop suppression: a
+// best-effort operation whose failure has no consumer.
+package suppress
+
+import "errors"
+
+func flush() error { return errors.New("flush") }
+
+// bestEffort flushes on shutdown; there is nowhere left to report to.
+func bestEffort() {
+	//lint:ignore errdrop best-effort flush during shutdown; no caller to report to
+	_ = flush()
+}

@@ -1,0 +1,78 @@
+// Package clean holds deterministic reduction idioms floatdet must not
+// flag (configured as a compute package in the test).
+package clean
+
+import (
+	"sort"
+	"sync"
+)
+
+// sumPerWorker is the sanctioned layout: disjoint indexed slots per
+// worker, merged serially in fixed order.
+func sumPerWorker(xs []float64) float64 {
+	partial := make([]float64, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(xs); i += 4 {
+				partial[w] += xs[i]
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// sumViaLocal accumulates into a worker-local variable and hands the
+// result off over a channel.
+func sumViaLocal(xs []float64) float64 {
+	out := make(chan float64, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local float64
+			for i := w; i < len(xs); i += 4 {
+				local += xs[i]
+			}
+			out <- local
+		}(w)
+	}
+	wg.Wait()
+	close(out)
+	var total float64
+	for v := range out {
+		total += v
+	}
+	return total
+}
+
+// sumMapSorted reduces a map in sorted-key order.
+func sumMapSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// serial accumulation outside any worker is fine.
+func sumSerial(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+// Package flagged holds order-dependent float reductions (this fixture
+// package is configured as a compute package in the test).
+package flagged
+
+import "sync"
+
+// Blocks stands in for the worker pool's parallel-for.
+func Blocks(n int, f func(lo, hi int)) { f(0, n) }
+
+type accum struct{ sum float64 }
+
+// sumShared accumulates into one shared variable from every worker: the
+// summation order is the scheduler's choice.
+func sumShared(xs []float64) float64 {
+	var total float64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, x := range xs {
+				total += x // want "float accumulator total is shared across worker goroutines"
+			}
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// poolShared does the same through the worker pool with a struct field.
+func poolShared(a *accum, xs []float64) {
+	Blocks(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.sum += xs[i] // want "float accumulator a.sum is shared across worker goroutines"
+		}
+	})
+}
+
+// sumMap folds values in randomized map-iteration order.
+func sumMap(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation inside range over map folds in randomized map order"
+	}
+	return total
+}

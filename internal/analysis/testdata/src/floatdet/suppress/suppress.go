@@ -1,0 +1,22 @@
+// Package suppress carries one justified floatdet suppression: a
+// tolerance-bounded reduction where summation order is accepted.
+package suppress
+
+import "sync"
+
+// sumTolerant accepts order-dependent rounding: its consumer applies a
+// tolerance, not byte-identity.
+func sumTolerant(xs []float64) float64 {
+	var total float64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs {
+			//lint:ignore floatdet tolerance-bounded diagnostic sum; order accepted
+			total += x
+		}
+	}()
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,84 @@
+// Package clean holds goroutine spawns whose join points goroleak must
+// recognize.
+package clean
+
+import "sync"
+
+func compute(i int) int { return i * i }
+
+// pooled is the canonical worker pool: Add before spawn, deferred Done,
+// Wait before return.
+func pooled(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			compute(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// errChan uses the buffered error-channel idiom: the send can never
+// block, so the goroutine cannot leak on it.
+func errChan() int {
+	out := make(chan int, 1)
+	go func() {
+		out <- compute(6)
+	}()
+	return <-out
+}
+
+// drained receives on the only path out.
+func drained() int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute(7)
+	}()
+	return <-ch
+}
+
+// handedOff passes the channel to a callee, which owns the join.
+func handedOff(sink func(<-chan int)) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	sink(ch)
+}
+
+// deferClose joins the draining goroutine with a deferred close.
+func deferClose(items []int) {
+	ch := make(chan int)
+	defer close(ch)
+	go func() {
+		for v := range ch {
+			compute(v)
+		}
+	}()
+	for _, v := range items {
+		ch <- v
+	}
+}
+
+// spawnInto signals a WaitGroup owned by the caller: the caller joins.
+func spawnInto(wg *sync.WaitGroup, jobs []int) {
+	for _, j := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			compute(j)
+		}()
+	}
+}
+
+// paramChan receives the channel as a literal parameter bound to an
+// outer channel that the spawner drains.
+func paramChan() int {
+	ch := make(chan int)
+	go func(out chan<- int) {
+		out <- compute(8)
+	}(ch)
+	return <-ch
+}

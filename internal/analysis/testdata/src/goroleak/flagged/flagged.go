@@ -1,0 +1,73 @@
+// Package flagged holds goroutine spawns with no (or broken) join points.
+package flagged
+
+import "sync"
+
+func compute(i int) int { return i * i }
+
+// fireAndForget spawns a literal nothing can wait for.
+func fireAndForget() {
+	go func() { // want "goroutine has no join point: no WaitGroup, channel or other synchronization"
+		compute(1)
+	}()
+}
+
+// namedNoSync spawns a named function with no synchronization flowing in.
+func namedNoSync() {
+	go compute(2) // want "goroutine has no join point: nothing synchronizes compute"
+}
+
+// addInside calls Add inside the goroutine, racing with Wait.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() { // want "goroutine calls wg.Add: Add must happen on the spawning side"
+		wg.Add(1)
+		defer wg.Done()
+		compute(3)
+	}()
+	wg.Wait()
+}
+
+// waitSkipped can return before Wait on the early path.
+func waitSkipped(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "wg.Wait is not reached on every path to return"
+		defer wg.Done()
+		compute(4)
+	}()
+	if cond {
+		return
+	}
+	wg.Wait()
+}
+
+// recvEarlyReturn strands the sender when the early path is taken.
+func recvEarlyReturn(cond bool) int {
+	ch := make(chan int)
+	go func() { // want "goroutine blocks on channel ch but the spawner does not receive from it on every path"
+		ch <- compute(5)
+	}()
+	if cond {
+		return 0
+	}
+	return <-ch
+}
+
+// rangeNeverClosed can leave the draining goroutine parked forever: the
+// early return skips both the send and the close.
+func rangeNeverClosed(items []int) {
+	ch := make(chan int)
+	go func() { // want "goroutine blocks on channel ch but the spawner does not send on or close it on every path"
+		for v := range ch {
+			compute(v)
+		}
+	}()
+	for _, v := range items {
+		if v < 0 {
+			return
+		}
+		ch <- v
+	}
+	close(ch)
+}

@@ -1,0 +1,15 @@
+// Package suppress carries one justified goroleak suppression: a
+// process-lifetime background loop that is detached by design.
+package suppress
+
+func tick() {}
+
+// startFlusher runs for the life of the process; nothing ever joins it.
+func startFlusher() {
+	//lint:ignore goroleak process-lifetime flusher, detached by design
+	go func() {
+		for {
+			tick()
+		}
+	}()
+}

@@ -1,0 +1,89 @@
+// Package clean holds lockcheck patterns that must produce no findings,
+// with the blocking rule active (the test configures this package as
+// blocking-checked).
+package clean
+
+import "sync"
+
+type cache struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	cond  *sync.Cond
+	locks []sync.Mutex
+	data  map[string]int
+}
+
+// deferred is the canonical shape.
+func (c *cache) deferred(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.data[k]
+}
+
+// allPaths releases explicitly on every path, early return included.
+func (c *cache) allPaths(k string) int {
+	c.mu.Lock()
+	v, ok := c.data[k]
+	if !ok {
+		c.mu.Unlock()
+		return -1
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// deferredLiteral unlocks inside a deferred function literal.
+func (c *cache) deferredLiteral(k string, v int) {
+	c.mu.Lock()
+	defer func() {
+		c.data[k] = v
+		c.mu.Unlock()
+	}()
+}
+
+// readThenWrite pairs RLock/RUnlock and Lock/Unlock on an RWMutex.
+func (c *cache) readThenWrite(k string) {
+	c.rw.RLock()
+	_, ok := c.data[k]
+	c.rw.RUnlock()
+	if !ok {
+		c.rw.Lock()
+		c.data[k] = 0
+		c.rw.Unlock()
+	}
+}
+
+// selectDefault performs a non-blocking send under the lock: a select
+// with a default never blocks.
+func (c *cache) selectDefault(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- len(c.data):
+	default:
+	}
+}
+
+// condWait blocks on a condition variable, which requires holding its
+// lock — deliberately exempt from the blocking rule.
+func (c *cache) condWait() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.data) == 0 {
+		c.cond.Wait()
+	}
+}
+
+// unlockBeforeSend releases before the blocking operation.
+func (c *cache) unlockBeforeSend(ch chan int) {
+	c.mu.Lock()
+	v := c.data["k"]
+	c.mu.Unlock()
+	ch <- v
+}
+
+// indexed locks have data-dependent identity and are not tracked.
+func (c *cache) indexed(i int) {
+	c.locks[i].Lock()
+	defer c.locks[i].Unlock()
+}

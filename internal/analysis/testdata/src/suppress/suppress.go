@@ -30,3 +30,11 @@ func Bare() float64 {
 	//lint:ignore detrand
 	return rand.Float64()
 }
+
+// Unknown names an analyzer that does not exist: the directive is
+// malformed (a typo would suppress nothing, silently) and the finding
+// survives.
+func Unknown() float64 {
+	//lint:ignore detrandd misspelled analyzer name
+	return rand.Float64()
+}

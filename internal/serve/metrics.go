@@ -32,7 +32,11 @@ func histBucket(sec float64) int {
 		return 0
 	}
 	i := 1 + int(math.Floor(histPerDecade*math.Log10(sec/histFloor)))
-	if i >= histBucketsTotal {
+	// sec > histFloor makes the true index >= 1; anything else means the
+	// division overflowed to +Inf (or sec was NaN) and int() produced
+	// garbage — those belong in the overflow bucket with the rest of the
+	// absurd latencies.
+	if i >= histBucketsTotal || i < 1 {
 		return histBucketsTotal - 1
 	}
 	return i

@@ -150,6 +150,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
+	//lint:ignore errdrop status line already committed by WriteHeader; an encode failure here has no channel back to the client
 	_ = enc.Encode(v)
 }
 
@@ -408,6 +409,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	//lint:ignore errdrop best-effort trace export to a committed response; a write failure means the client went away
 	_ = s.tracer.WriteChrome(w)
 }
 

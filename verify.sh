@@ -19,7 +19,13 @@ echo "gofmt -s: ok"
 go vet ./...
 echo "go vet: ok"
 
-go run ./cmd/bltcvet ./...
+# Machine-readable findings land in bltcvet-findings.json (uploaded as a
+# CI artifact next to bench-smoke.txt); the file holds [] on a clean run.
+if ! go run ./cmd/bltcvet -json ./... >bltcvet-findings.json; then
+    echo "bltcvet: findings reported:" >&2
+    cat bltcvet-findings.json >&2
+    exit 1
+fi
 echo "bltcvet: ok"
 
 go build ./...
