@@ -94,7 +94,9 @@ func KernelFunc(name string, f func(tx, ty, tz, sx, sy, sz float64) float64, cpu
 // (0,1), the interpolation degree n >= 1, the source-tree leaf size NL and
 // the target batch size NB (Section 2.4 of the paper). The optional
 // Workers field bounds the host goroutines of the setup phase; setup
-// output is bit-identical for every worker count.
+// output is bit-identical for every worker count. Morton selects the
+// canonical Z-order build that enables Plan.Update for dynamic
+// simulations, with DriftTol tuning its refit/repair/rebuild policy.
 type Params = core.Params
 
 // DefaultParams returns the paper's scaling-run parameters (theta = 0.8,
@@ -118,10 +120,13 @@ type Tracer = trace.Tracer
 // NewTracer returns an empty enabled Tracer.
 func NewTracer() *Tracer { return trace.New() }
 
-// TracePhaseNames returns the phase span names in execution order (setup,
-// precompute, compute) — the recommended phase-order argument for
-// Tracer.WriteProfile.
-func TracePhaseNames() []string { return perfmodel.PhaseNames() }
+// TracePhaseNames returns the phase span names in execution order — the
+// paper's setup/precompute/compute split followed by the Plan.Update
+// decision spans (update.refit, update.repair, update.rebuild) — the
+// recommended phase-order argument for Tracer.WriteProfile.
+func TracePhaseNames() []string {
+	return append(perfmodel.PhaseNames(), core.UpdateSpanNames()...)
+}
 
 // Result is the output of a treecode solve.
 type Result struct {
@@ -330,8 +335,9 @@ type FieldResult struct {
 //
 //	grad phi(x) ~= sum_k grad_x G(x, s_k) qhat_k.
 //
-// The setup phase runs per call; field evaluation has no Plan-reuse path
-// yet (potentials only — see docs/serving.md).
+// The setup phase runs per call; to amortize it across repeated field
+// evaluations (e.g. a dynamic simulation's timesteps), build a Plan once
+// and call Plan.SolveWithField, which returns byte-identical results.
 func SolveWithField(k Kernel, targets, sources *Particles, p Params) (*FieldResult, error) {
 	gk, ok := k.(kernel.GradKernel)
 	if !ok {

@@ -2,13 +2,15 @@
 // gravitating cluster with treecode forces. This is the canonical
 // downstream use of a gravitational treecode (Barnes & Hut's original
 // application): every step needs the field at every particle, computed
-// here via SolveWithField — the potential gradient obtained from the same
-// modified charges as the potential itself.
+// here via Plan.SolveWithField — the potential gradient obtained from the
+// same modified charges as the potential itself.
 //
-// The demo integrates a Plummer cluster for a few dynamical times and
-// reports total-energy drift, the standard quality metric for N-body
-// integrators: with a symplectic integrator and accurate forces the drift
-// stays small and non-secular.
+// The plan is built once and then follows the particles with Plan.Update:
+// each step the plan picks the cheapest exact structural path (box refit,
+// local tree repair, or full rebuild) instead of paying the whole setup
+// phase again. The demo integrates a Plummer cluster for a few dynamical
+// times and reports total-energy drift — the standard quality metric for
+// N-body integrators — plus the breakdown of update actions taken.
 //
 //	go run ./examples/nbody-leapfrog
 package main
@@ -30,16 +32,25 @@ func main() {
 	)
 	stars := barytree.PlummerSphere(n, 1.0, 17)
 	k := barytree.RegularizedCoulomb(eps)
-	params := barytree.Params{Theta: 0.6, Degree: 6, LeafSize: 300, BatchSize: 300}
+	params := barytree.Params{Theta: 0.6, Degree: 6, LeafSize: 300, BatchSize: 300, Morton: true}
 
-	// Cold-ish start: small random velocities (the cluster contracts and
+	// Build the plan once; Plan.Update keeps it exact as the cluster moves.
+	pl, err := barytree.NewPlan(stars, stars, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := append([]float64(nil), stars.X...)
+	y := append([]float64(nil), stars.Y...)
+	z := append([]float64(nil), stars.Z...)
+
+	// Cold-ish start: zero velocities (the cluster contracts and
 	// oscillates; energy must still be conserved).
 	vx := make([]float64, n)
 	vy := make([]float64, n)
 	vz := make([]float64, n)
 
 	field := func() *barytree.FieldResult {
-		f, err := barytree.SolveWithField(k, stars, stars, params)
+		f, err := pl.SolveWithField(k, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,9 +71,10 @@ func main() {
 	e0 := k0 + p0
 	fmt.Printf("step %3d: K=%+.5f U=%+.5f E=%+.6f\n", 0, k0, p0, e0)
 
+	actions := map[barytree.UpdateAction]int{}
 	var maxDrift float64
 	for s := 1; s <= steps; s++ {
-		// Kick (half): a = -grad phi (attractive; phi > 0 for kernel 1/r).
+		// Kick (half): a = +grad phi for phi = sum m/r (attractive).
 		for i := 0; i < n; i++ {
 			vx[i] += 0.5 * dt * f.GX[i]
 			vy[i] += 0.5 * dt * f.GY[i]
@@ -70,11 +82,18 @@ func main() {
 		}
 		// Drift.
 		for i := 0; i < n; i++ {
-			stars.X[i] += dt * vx[i]
-			stars.Y[i] += dt * vy[i]
-			stars.Z[i] += dt * vz[i]
+			x[i] += dt * vx[i]
+			y[i] += dt * vy[i]
+			z[i] += dt * vz[i]
 		}
-		// New forces (tree rebuilt: positions moved).
+		// Follow the particles: refit boxes, repair the tree, or rebuild —
+		// whichever is the cheapest path that keeps the plan exact.
+		st, err := pl.Update(x, y, z)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actions[st.Action]++
+		// New forces on the maintained plan.
 		f = field()
 		// Kick (half).
 		for i := 0; i < n; i++ {
@@ -92,5 +111,7 @@ func main() {
 		}
 	}
 	fmt.Printf("\nmax relative energy drift over %d steps: %.2e\n", steps, maxDrift)
+	fmt.Printf("update actions: refit %d, repair %d, rebuild %d\n",
+		actions[barytree.UpdateRefit], actions[barytree.UpdateRepair], actions[barytree.UpdateRebuild])
 	fmt.Println("(leapfrog is symplectic: with accurate treecode forces the drift is small and bounded)")
 }

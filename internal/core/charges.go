@@ -82,6 +82,37 @@ func NewClusterDataWorkers(t *tree.Tree, degree, workers int) *ClusterData {
 	return cd
 }
 
+// RefitGridsWorkers re-lays the interpolation grid of every node over the
+// tree's current (refit) boxes, reusing the grid and point arenas, and
+// unpublishes the modified charges (Qhat[i] = nil) so the next charge pass
+// recomputes them against the new grids. This is Plan.Update's refit fast
+// path for the cluster data: the node count is unchanged by construction,
+// so no allocation or re-slicing is needed, and after the next charge pass
+// the cluster data is indistinguishable from a fresh NewClusterDataWorkers
+// over the refit tree — same arena layout, same bits.
+func (cd *ClusterData) RefitGridsWorkers(t *tree.Tree, workers int) {
+	n := len(t.Nodes)
+	if n != len(cd.Grids) {
+		panic("core: RefitGridsWorkers on a tree with a different node count")
+	}
+	if n == 0 {
+		return
+	}
+	m := cd.Degree + 1
+	np := m * m * m
+	pool.For(n, workers, func(i int) {
+		g := cd.cache.Grid3DInto(t.Nodes[i].Box, cd.gridArena[i*3*m:(i+1)*3*m])
+		cd.Grids[i] = g
+		base := i * 3 * np
+		px := cd.ptArena[base : base+np : base+np]
+		py := cd.ptArena[base+np : base+2*np : base+2*np]
+		pz := cd.ptArena[base+2*np : base+3*np : base+3*np]
+		g.FlattenedPointsInto(px, py, pz)
+		cd.PX[i], cd.PY[i], cd.PZ[i] = px, py, pz
+		cd.Qhat[i] = nil
+	})
+}
+
 // qhatSlot returns node ni's slot of the modified-charge arena, the buffer
 // a charge pass fills and publishes as Qhat[ni].
 func (cd *ClusterData) qhatSlot(ni int) []float64 {

@@ -16,16 +16,24 @@ type FieldResult struct {
 }
 
 // EvalDirectFieldTarget accumulates the potential and its gradient at one
-// target due to direct summation over sources [cLo, cHi).
+// target due to direct summation over sources [cLo, cHi), with the sources'
+// own charges.
 func EvalDirectFieldTarget(k kernel.GradKernel, tg *particle.Set, ti int, src *particle.Set, cLo, cHi int) (phi, gx, gy, gz float64) {
+	return EvalDirectFieldTargetQ(k, tg, ti, src, src.Q, cLo, cHi)
+}
+
+// EvalDirectFieldTargetQ is EvalDirectFieldTarget with explicit charges q
+// (tree order) — the plan's own or a ChargeState's; the arithmetic is
+// identical, so equal charges yield bit-identical sums.
+func EvalDirectFieldTargetQ(k kernel.GradKernel, tg *particle.Set, ti int, src *particle.Set, q []float64, cLo, cHi int) (phi, gx, gy, gz float64) {
 	tx, ty, tz := tg.X[ti], tg.Y[ti], tg.Z[ti]
 	for j := cLo; j < cHi; j++ {
 		g, dx, dy, dz := k.EvalGrad(tx, ty, tz, src.X[j], src.Y[j], src.Z[j])
-		q := src.Q[j]
-		phi += g * q
-		gx += dx * q
-		gy += dy * q
-		gz += dz * q
+		qq := q[j]
+		phi += g * qq
+		gx += dx * qq
+		gy += dy * qq
+		gz += dz * qq
 	}
 	return phi, gx, gy, gz
 }
@@ -64,31 +72,7 @@ func RunCPUFields(pl *Plan, k kernel.GradKernel, opt CPUOptions) *FieldResult {
 	gx := make([]float64, n)
 	gy := make([]float64, n)
 	gz := make([]float64, n)
-	tg := pl.Batches.Targets
-	src := pl.Sources.Particles
-	cd := pl.Clusters
-	pool.For(len(pl.Batches.Batches), opt.Workers, func(bi int) {
-		b := &pl.Batches.Batches[bi]
-		for _, ci := range pl.Lists.Direct[bi] {
-			nd := &pl.Sources.Nodes[ci]
-			for ti := b.Lo; ti < b.Hi; ti++ {
-				p, x, y, z := EvalDirectFieldTarget(k, tg, ti, src, nd.Lo, nd.Hi)
-				phi[ti] += p
-				gx[ti] += x
-				gy[ti] += y
-				gz[ti] += z
-			}
-		}
-		for _, ci := range pl.Lists.Approx[bi] {
-			for ti := b.Lo; ti < b.Hi; ti++ {
-				p, x, y, z := EvalApproxFieldTarget(k, tg, ti, cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci])
-				phi[ti] += p
-				gx[ti] += x
-				gy[ti] += y
-				gz[ti] += z
-			}
-		}
-	})
+	runFieldsBatches(pl, k, pl.Sources.Particles.Q, pl.Clusters.Qhat, phi, gx, gy, gz, opt.Workers)
 	res.Times[perfmodel.PhaseCompute] =
 		float64(pl.Lists.Stats.TotalInteractions()) * (kernel.GradCost(k, kernel.ArchCPU) + 8) / rate
 
@@ -101,4 +85,48 @@ func RunCPUFields(pl *Plan, k kernel.GradKernel, opt CPUOptions) *FieldResult {
 	pl.Batches.Perm.ScatterInto(res.GY, gy)
 	pl.Batches.Perm.ScatterInto(res.GZ, gz)
 	return res
+}
+
+// runFieldsBatches walks every batch's interaction list accumulating
+// potentials and gradients into phi/gx/gy/gz (batch target order), with
+// charges q and modified charges qhat — the plan's own (RunCPUFields) or a
+// ChargeState's (RunFieldsState). The loop structure and per-target add
+// order are identical for both, so equal charges yield byte-identical
+// fields.
+func runFieldsBatches(pl *Plan, k kernel.GradKernel, q []float64, qhat [][]float64, phi, gx, gy, gz []float64, workers int) {
+	tg := pl.Batches.Targets
+	src := pl.Sources.Particles
+	cd := pl.Clusters
+	pool.For(len(pl.Batches.Batches), workers, func(bi int) {
+		b := &pl.Batches.Batches[bi]
+		for _, ci := range pl.Lists.Direct[bi] {
+			nd := &pl.Sources.Nodes[ci]
+			for ti := b.Lo; ti < b.Hi; ti++ {
+				p, x, y, z := EvalDirectFieldTargetQ(k, tg, ti, src, q, nd.Lo, nd.Hi)
+				phi[ti] += p
+				gx[ti] += x
+				gy[ti] += y
+				gz[ti] += z
+			}
+		}
+		for _, ci := range pl.Lists.Approx[bi] {
+			for ti := b.Lo; ti < b.Hi; ti++ {
+				p, x, y, z := EvalApproxFieldTarget(k, tg, ti, cd.PX[ci], cd.PY[ci], cd.PZ[ci], qhat[ci])
+				phi[ti] += p
+				gx[ti] += x
+				gy[ti] += y
+				gz[ti] += z
+			}
+		}
+	})
+}
+
+// RunFieldsState evaluates potentials and gradients against a ChargeState's
+// charges into the four caller buffers (batch target order). The modified
+// charges must be fresh (call st.Compute first). The plan is only read, so
+// concurrent calls with distinct (st, buffers) are safe. Byte-identical to
+// RunCPUFields' compute pass for equal charges.
+func RunFieldsState(pl *Plan, k kernel.GradKernel, st *ChargeState, phi, gx, gy, gz []float64, workers int) {
+	st.checkGen(pl)
+	runFieldsBatches(pl, k, st.Q, st.Qhat, phi, gx, gy, gz, workers)
 }

@@ -28,6 +28,37 @@ type Params struct {
 	// knob only: results, modeled times and trace output are bit-identical
 	// for every value.
 	Workers int
+
+	// Morton selects the Morton-ordered canonical build (tree.BuildMorton)
+	// instead of the midpoint-split build. A Morton plan supports
+	// Plan.Update — in-place refit, incremental repair, or full rebuild
+	// after its particles move — because the whole structure is a pure
+	// function of the particle multiset; see internal/tree/morton.go. The
+	// two builds produce different (both valid) trees, so Morton changes
+	// result bits relative to the default build and participates in the
+	// serving layer's geometry hash.
+	Morton bool
+
+	// DriftTol is Plan.Update's refit tolerance: a particle may stray from
+	// its leaf's bounding box by at most DriftTol times the leaf radius
+	// (boundary inclusive) for the update to refit boxes in place and keep
+	// the cached interaction lists. 0 selects DefaultDriftTol; it does not
+	// affect results (every update path is exact for its geometry), only
+	// the refit/repair/rebuild policy, so it is excluded from the serving
+	// layer's geometry hash.
+	DriftTol float64
+}
+
+// DefaultDriftTol is the refit drift tolerance used when Params.DriftTol
+// is zero: a quarter of the leaf radius per side.
+const DefaultDriftTol = 0.25
+
+// driftTol returns the effective update drift tolerance.
+func (p Params) driftTol() float64 {
+	if p.DriftTol > 0 {
+		return p.DriftTol
+	}
+	return DefaultDriftTol
 }
 
 // DefaultParams returns the parameters of the paper's scaling runs:
@@ -50,6 +81,9 @@ func (p Params) Validate() error {
 	if p.BatchSize < 1 {
 		return fmt.Errorf("core: batch size must be >= 1, got %d", p.BatchSize)
 	}
+	if p.DriftTol < 0 {
+		return fmt.Errorf("core: drift tolerance must be >= 0, got %g", p.DriftTol)
+	}
 	return nil
 }
 
@@ -69,6 +103,12 @@ type Plan struct {
 	Batches  *tree.BatchSet
 	Lists    *interaction.Lists
 	Clusters *ClusterData
+
+	// upd holds the Morton-mode update state (nil for midpoint builds);
+	// gen counts Updates applied so far and invalidates ChargeStates
+	// created against earlier geometry. See update.go.
+	upd *updState
+	gen uint64
 }
 
 // NewPlan runs the setup phase: build the source tree and target batches,
@@ -83,6 +123,9 @@ func NewPlan(targets, sources *particle.Set, p Params) (*Plan, error) {
 	if err := targets.Validate(); err != nil {
 		return nil, fmt.Errorf("core: bad targets: %w", err)
 	}
+	if p.Morton {
+		return newMortonPlan(targets, sources, p), nil
+	}
 	t := tree.BuildWorkers(sources, p.LeafSize, p.Workers)
 	b := tree.BuildBatchesWorkers(targets, p.BatchSize, p.Workers)
 	lists := interaction.BuildListsWorkers(b, t, p.MAC(), p.Workers)
@@ -93,6 +136,45 @@ func NewPlan(targets, sources *particle.Set, p Params) (*Plan, error) {
 		Lists:    lists,
 		Clusters: NewClusterDataWorkers(t, p.Degree, p.Workers),
 	}, nil
+}
+
+// newMortonPlan is the Morton-mode setup phase, shared by NewPlan and
+// Plan.Update's rebuild path (which is what makes a rebuild trivially
+// bit-identical to a fresh plan at the new positions). The target batches
+// come from a Morton tree of the targets with leaf size BatchSize, kept
+// alongside the plan so updates can refit and repair it too.
+func newMortonPlan(targets, sources *particle.Set, p Params) *Plan {
+	st, srcIdx := tree.BuildMortonWorkers(sources, p.LeafSize, p.Workers)
+	tt, tgtIdx := tree.BuildMortonWorkers(targets, p.BatchSize, p.Workers)
+	b := tree.BatchSetFromTree(tt)
+	lists := interaction.BuildListsWorkers(b, st, p.MAC(), p.Workers)
+	return &Plan{
+		Params:   p,
+		Sources:  st,
+		Batches:  b,
+		Lists:    lists,
+		Clusters: NewClusterDataWorkers(st, p.Degree, p.Workers),
+		upd: &updState{
+			srcIdx: srcIdx,
+			tgt:    tt,
+			tgtIdx: tgtIdx,
+			shared: samePositions(targets, sources),
+		},
+	}
+}
+
+// samePositions reports whether two particle sets hold bit-identical
+// coordinates (charges may differ).
+func samePositions(a, b *particle.Set) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] || a.Z[i] != b.Z[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // SetupWork converts the plan's construction counters into modeled CPU

@@ -27,7 +27,20 @@ type ChargeState struct {
 	Qhat [][]float64
 
 	arena []float64
-	fresh bool // Qhat valid for current Q
+	fresh bool   // Qhat valid for current Q
+	gen   uint64 // plan generation the state was created against
+}
+
+// checkGen panics if the plan has been Updated since the state was
+// created: the state's charges are permuted for the old tree order and
+// its arena may be sized for the old topology, so running it would
+// silently evaluate stale geometry. Create a fresh state (or use
+// Plan.Solve, which always does) after an Update.
+func (st *ChargeState) checkGen(pl *Plan) {
+	if st.gen != pl.gen {
+		panic(fmt.Sprintf("core: charge state from plan generation %d used after Update (plan generation %d); create a new state",
+			st.gen, pl.gen))
+	}
 }
 
 // NewChargeState returns charge state sized for pl, initialized with the
@@ -42,6 +55,7 @@ func NewChargeState(pl *Plan) *ChargeState {
 		Q:     make([]float64, pl.Sources.Particles.Len()),
 		Qhat:  make([][]float64, n),
 		arena: make([]float64, n*np),
+		gen:   pl.gen,
 	}
 	copy(st.Q, pl.Sources.Particles.Q)
 	for i := 0; i < n; i++ {
@@ -55,6 +69,7 @@ func NewChargeState(pl *Plan) *ChargeState {
 // permuted into tree order. The next Compute recomputes the modified
 // charges; the plan itself is not touched.
 func (st *ChargeState) SetCharges(pl *Plan, q []float64) error {
+	st.checkGen(pl)
 	src := pl.Sources
 	if len(q) != src.Particles.Len() {
 		return fmt.Errorf("core: SetCharges got %d charges for %d sources", len(q), src.Particles.Len())
@@ -74,6 +89,7 @@ func (st *ChargeState) SetCharges(pl *Plan, q []float64) error {
 // modified charges. It returns the modeled flop-equivalents of the work,
 // and is a no-op returning 0 if Qhat is already valid for Q.
 func (st *ChargeState) Compute(pl *Plan, workers int) float64 {
+	st.checkGen(pl)
 	if st.fresh {
 		return 0
 	}
@@ -101,6 +117,7 @@ func (st *ChargeState) Invalidate() { st.fresh = false }
 // SetCharges and ResetToPlan overwrite every charge, so no prior request's
 // values can leak into the next solve.
 func (st *ChargeState) ResetToPlan(pl *Plan) {
+	st.checkGen(pl)
 	copy(st.Q, pl.Sources.Particles.Q)
 	st.fresh = false
 }

@@ -21,6 +21,8 @@ import (
 //
 //   - Theta, Degree, LeafSize, BatchSize (they shape the tree, the
 //     batches, the interaction lists and the cluster grids);
+//   - Morton: the Z-order build produces a different (equally valid) tree
+//     than the midpoint build, so results differ bitwise across the flag;
 //   - target and source positions, bit-for-bit (coordinates that differ
 //     in the last ulp produce different trees).
 //
@@ -31,6 +33,9 @@ import (
 //   - Params.Workers: a host execution knob with bit-identical output for
 //     every value (see core.Params), so plans built with different worker
 //     counts are interchangeable;
+//   - Params.DriftTol: an update-policy knob — every update path is exact
+//     for its geometry, so plans differing only in tolerance are
+//     interchangeable (and served plans are never updated);
 //   - the kernel: plans are kernel-independent (the paper's Figure 4
 //     evaluates Coulomb and Yukawa on one set of structures).
 func GeometryKey(targets, sources *particle.Set, p core.Params) string {
@@ -44,6 +49,11 @@ func GeometryKey(targets, sources *particle.Set, p core.Params) string {
 	putU(uint64(int64(p.Degree)))
 	putU(uint64(int64(p.LeafSize)))
 	putU(uint64(int64(p.BatchSize)))
+	if p.Morton {
+		putU(1)
+	} else {
+		putU(0)
+	}
 	putU(uint64(int64(targets.Len())))
 	putU(uint64(int64(sources.Len())))
 	for _, s := range [][]float64{targets.X, targets.Y, targets.Z, sources.X, sources.Y, sources.Z} {

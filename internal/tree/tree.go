@@ -333,26 +333,36 @@ func (b *builder) shrinkBoxPar(lo, hi int) geom.Box {
 	})
 	box := boxes[0]
 	for _, c := range boxes[1:] {
-		if c.Lo.X < box.Lo.X {
-			box.Lo.X = c.Lo.X
-		}
-		if c.Hi.X > box.Hi.X {
-			box.Hi.X = c.Hi.X
-		}
-		if c.Lo.Y < box.Lo.Y {
-			box.Lo.Y = c.Lo.Y
-		}
-		if c.Hi.Y > box.Hi.Y {
-			box.Hi.Y = c.Hi.Y
-		}
-		if c.Lo.Z < box.Lo.Z {
-			box.Lo.Z = c.Lo.Z
-		}
-		if c.Hi.Z > box.Hi.Z {
-			box.Hi.Z = c.Hi.Z
-		}
+		combineBox(&box, c)
 	}
 	return box
+}
+
+// combineBox extends dst to cover c with the same first-wins strict
+// comparisons as boundsRange (the difference from geom.Box.Union is only
+// observable for inputs mixing -0 and +0). Both the chunk-parallel shrink
+// and the bottom-up refit (RefitBoxesWorkers) combine left to right through
+// this helper, which is what keeps their boxes bit-identical to a serial
+// scan of the underlying particles.
+func combineBox(dst *geom.Box, c geom.Box) {
+	if c.Lo.X < dst.Lo.X {
+		dst.Lo.X = c.Lo.X
+	}
+	if c.Hi.X > dst.Hi.X {
+		dst.Hi.X = c.Hi.X
+	}
+	if c.Lo.Y < dst.Lo.Y {
+		dst.Lo.Y = c.Lo.Y
+	}
+	if c.Hi.Y > dst.Hi.Y {
+		dst.Hi.Y = c.Hi.Y
+	}
+	if c.Lo.Z < dst.Lo.Z {
+		dst.Lo.Z = c.Lo.Z
+	}
+	if c.Hi.Z > dst.Hi.Z {
+		dst.Hi.Z = c.Hi.Z
+	}
 }
 
 // splitDims selects the dimensions to bisect: every dimension whose side
@@ -816,24 +826,5 @@ func BuildBatches(targets *particle.Set, batchSize int) *BatchSet {
 // (workers <= 0 selects GOMAXPROCS, 1 is the serial build). Like
 // BuildWorkers, the output is bit-identical for every worker count.
 func BuildBatchesWorkers(targets *particle.Set, batchSize, workers int) *BatchSet {
-	t := BuildWorkers(targets, batchSize, workers)
-	bs := &BatchSet{
-		Targets:   t.Particles,
-		Perm:      t.Perm,
-		BatchSize: batchSize,
-		Stats:     t.Stats,
-	}
-	bs.Batches = make([]Batch, 0, t.Stats.Leaves)
-	for i := range t.Nodes {
-		nd := &t.Nodes[i]
-		if nd.IsLeaf() {
-			bs.Batches = append(bs.Batches, Batch{
-				Center: nd.Center,
-				Radius: nd.Radius,
-				Lo:     nd.Lo,
-				Hi:     nd.Hi,
-			})
-		}
-	}
-	return bs
+	return BatchSetFromTree(BuildWorkers(targets, batchSize, workers))
 }

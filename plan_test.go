@@ -181,3 +181,104 @@ func TestSolverFromPlanSharesPlan(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanSolveWithFieldMatchesOneShot pins the stepping path: potentials
+// and gradients through a cached Plan are byte-identical to the one-shot
+// SolveWithField, for both the midpoint and the Morton build.
+func TestPlanSolveWithFieldMatchesOneShot(t *testing.T) {
+	pts := barytree.UniformCube(2500, 64)
+	k := barytree.Coulomb()
+	for _, morton := range []bool{false, true} {
+		p := smallParams()
+		p.Morton = morton
+		want, err := barytree.SolveWithField(k, pts, pts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := barytree.NewPlan(pts, pts, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.SolveWithField(k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Phi {
+			if got.Phi[i] != want.Phi[i] || got.GX[i] != want.GX[i] ||
+				got.GY[i] != want.GY[i] || got.GZ[i] != want.GZ[i] {
+				t.Fatalf("morton=%v: field %d differs: plan (%g,%g,%g,%g) vs one-shot (%g,%g,%g,%g)",
+					morton, i, got.Phi[i], got.GX[i], got.GY[i], got.GZ[i],
+					want.Phi[i], want.GX[i], want.GY[i], want.GZ[i])
+			}
+		}
+	}
+}
+
+// TestPlanUpdate pins the public update contract end to end: a zero-drift
+// Update refits and solves byte-identically to the pre-update plan, and an
+// Update that restructures solves byte-identically to a one-shot Solve at
+// the new positions.
+func TestPlanUpdate(t *testing.T) {
+	pts := barytree.UniformCube(2500, 65)
+	p := smallParams()
+	p.Morton = true
+	p.LeafSize, p.BatchSize = 100, 100
+	k := barytree.Coulomb()
+	pl, err := barytree.NewPlan(pts, pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.SetTracer(barytree.NewTracer())
+	before, err := pl.Solve(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := pl.Update(pts.X, pts.Y, pts.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Action != barytree.UpdateRefit {
+		t.Fatalf("zero drift took %v, want refit", st.Action)
+	}
+	after, err := pl.Solve(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("zero-drift update changed potential %d: %g vs %g", i, after[i], before[i])
+		}
+	}
+
+	// Teleport a block of particles; whichever non-refit path runs, the
+	// plan must solve exactly like a one-shot at the new positions.
+	rng := rand.New(rand.NewSource(66))
+	moved := pts.Clone()
+	for m := 0; m < 100; m++ {
+		i := rng.Intn(pts.Len())
+		moved.X[i] = 1.8*rng.Float64() - 0.9
+		moved.Y[i] = 1.8*rng.Float64() - 0.9
+		moved.Z[i] = 1.8*rng.Float64() - 0.9
+	}
+	st, err = pl.Update(moved.X, moved.Y, moved.Z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Action == barytree.UpdateRefit {
+		t.Fatalf("teleported block still refit: %+v", st)
+	}
+	got, err := pl.Solve(k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := barytree.Solve(k, moved, moved, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-%v potential %d: plan %g vs one-shot %g", st.Action, i, got[i], want[i])
+		}
+	}
+}

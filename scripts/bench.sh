@@ -2,23 +2,24 @@
 # scripts/bench.sh — run the performance benchmarks tracked by this repo
 # (block-kernel micro-bench, list construction, charge pass, cluster-grid
 # layout, tree/batch build, end-to-end CPU and simulated-device treecode,
-# compute-phase-only evaluation, amortized-plan solve, served solve) and
+# compute-phase-only evaluation, amortized-plan solve, served solve, and
+# the 100k leapfrog stepping pair: Plan.Update vs rebuild-every-step) and
 # record the results.
 #
 # Usage:
-#   scripts/bench.sh               # record current tree -> BENCH_PR6.current.txt
-#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR6.baseline.txt
+#   scripts/bench.sh               # record current tree -> BENCH_PR8.current.txt
+#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR8.baseline.txt
 #   scripts/bench.sh -count 5      # more repetitions (default 3)
-#   scripts/bench.sh -regen        # only rebuild BENCH_PR6.json from the
+#   scripts/bench.sh -regen        # only rebuild BENCH_PR8.json from the
 #                                  # existing text files (e.g. after appending
 #                                  # extra repetitions recorded by hand)
 #   scripts/bench.sh -serving      # also run the bltcd load harness and merge
 #                                  # its latency/throughput record into
-#                                  # BENCH_PR6.json (see scripts/load.sh)
+#                                  # BENCH_PR8.json (see scripts/load.sh)
 #
 # Both text files are benchstat-compatible; compare with
-#   benchstat BENCH_PR6.baseline.txt BENCH_PR6.current.txt
-# After every run the JSON summary BENCH_PR6.json is regenerated from
+#   benchstat BENCH_PR8.baseline.txt BENCH_PR8.current.txt
+# After every run the JSON summary BENCH_PR8.json is regenerated from
 # whichever text files exist: per-benchmark best-of-count ns/op, B/op and
 # allocs/op for baseline and current, plus speedup ratios where both sides
 # have the benchmark. Every repetition's ns/op is recorded in the text
@@ -26,7 +27,7 @@
 # suppresses scheduler noise that otherwise reads as phantom regressions.
 # With -serving the load harness's record rides along under the "serving"
 # key (the harness read-merges, so bench and loadtest results coexist).
-# See docs/performance.md. The PR3/PR4/PR5 records (BENCH_PR{3,4,5}.*) are
+# See docs/performance.md. The PR3-PR6 records (BENCH_PR{3,4,5,6}.*) are
 # kept as history and no longer regenerated.
 set -e
 
@@ -61,13 +62,13 @@ while [ $# -gt 0 ]; do
     esac
 done
 
-BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k|BenchmarkPlanSolve50k|BenchmarkServeSolve20k)$'
+BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k|BenchmarkPlanSolve50k|BenchmarkServeSolve20k|BenchmarkLeapfrogStep100k|BenchmarkLeapfrogStep100kRebuild)$'
 
 SECTIONS=$(mktemp)
 trap 'rm -f "$SECTIONS"' EXIT
 
 if [ "$REGEN" = 0 ]; then
-    go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR6.$SECTION.txt"
+    go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR8.$SECTION.txt"
 fi
 
 # Regenerate the JSON summary from the recorded text files. For each
@@ -129,18 +130,18 @@ END {
     }
     printf "\n  }\n}\n"
 }
-' $(ls BENCH_PR6.baseline.txt BENCH_PR6.current.txt 2>/dev/null) >"$SECTIONS"
+' $(ls BENCH_PR8.baseline.txt BENCH_PR8.current.txt 2>/dev/null) >"$SECTIONS"
 
-# Merge the fresh sections into BENCH_PR6.json, preserving any "serving"
+# Merge the fresh sections into BENCH_PR8.json, preserving any "serving"
 # record the load harness wrote there (scripts/benchjson).
-go run ./scripts/benchjson BENCH_PR6.json "$SECTIONS"
+go run ./scripts/benchjson BENCH_PR8.json "$SECTIONS"
 
 if [ "$SERVING" = 1 ]; then
-    go run ./cmd/bltcd -loadtest -out BENCH_PR6.json
+    go run ./cmd/bltcd -loadtest -out BENCH_PR8.json
 fi
 
 if [ "$REGEN" = 1 ]; then
-    echo "regenerated BENCH_PR6.json"
+    echo "regenerated BENCH_PR8.json"
 else
-    echo "wrote BENCH_PR6.$SECTION.txt and BENCH_PR6.json"
+    echo "wrote BENCH_PR8.$SECTION.txt and BENCH_PR8.json"
 fi
