@@ -240,8 +240,11 @@ type DistributedConfig struct {
 	// GPU selects the per-rank device model (default P100, the paper's
 	// scaling testbed).
 	GPU GPUModel
-	// OverlapComm enables the modeled overlap of LET communication with
-	// the precompute phase (the paper's future-work extension).
+	// OverlapComm enables the pipelined LET-exchange schedule (the
+	// paper's future-work extension): remote particle and charge data is
+	// fetched with nonblocking RMA gets while local-list batch kernels
+	// run, and each batch waits only on its own requests. Results are
+	// bit-identical with and without overlap; only modeled times change.
 	OverlapComm bool
 	// WorkersPerRank bounds the host goroutines each rank uses for its
 	// setup phase and functional kernel execution; <= 0 divides the

@@ -430,6 +430,25 @@ func BenchmarkDistributed4Ranks(b *testing.B) {
 	}
 }
 
+func BenchmarkDistributedOverlap4Ranks(b *testing.B) {
+	// Same run on the pipelined LET-exchange schedule: nonblocking bulk
+	// fetch plus per-batch waits. Tracks the host-side cost of the async
+	// request bookkeeping against BenchmarkDistributed4Ranks (the modeled
+	// times improve; the wall-clock cost must stay in the same ballpark).
+	pts := barytree.UniformCube(20_000, 5)
+	cfg := dist.Config{
+		Ranks:       4,
+		Params:      core.Params{Theta: 0.8, Degree: 5, LeafSize: 500, BatchSize: 500},
+		OverlapComm: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.Run(cfg, kernel.Coulomb{}, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDeviceSimulatorDrain(b *testing.B) {
 	// Cost of the fluid-flow stream scheduler itself at 10k launches.
 	spec := perfmodel.TitanV()

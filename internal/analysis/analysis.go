@@ -228,6 +228,7 @@ func DefaultAnalyzers() []*Analyzer {
 		GoroLeak(),
 		FloatDet(DefaultFloatDetPackages...),
 		ErrDrop(DefaultErrDropPackages...),
+		RmaLeak(),
 	}
 }
 

@@ -210,6 +210,12 @@ func TestErrDrop(t *testing.T) {
 	checkFixture(t, ErrDrop("fixture/errdrop/suppress"), "errdrop/suppress")
 }
 
+func TestRmaLeak(t *testing.T) {
+	checkFixture(t, RmaLeak(), "rmaleak/flagged")
+	checkFixture(t, RmaLeak(), "rmaleak/clean")
+	checkFixture(t, RmaLeak(), "rmaleak/suppress")
+}
+
 // TestSuppression verifies //lint:ignore semantics on the suppress
 // fixture: justified directives on the finding's line or the line above
 // suppress it, a wrong analyzer name does not, and a directive without a

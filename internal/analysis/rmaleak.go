@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// RmaLeak returns the flow-sensitive nonblocking-RMA analyzer: every Iget
+// request must reach a completion point on all paths out of the function.
+// An issued request whose modeled completion is never observed leaves the
+// rank's clock behind its NIC timeline — the simulation silently under-
+// reports communication time, the exact bug class the pipelined LET
+// exchange makes possible.
+//
+// A request is considered completed (locally) when:
+//   - Wait is called on the variable holding it;
+//   - any Flush or WaitAll call runs (they complete all pending requests),
+//     directly or in a defer;
+//   - the request is handed off: passed as a call argument (e.g. appended
+//     to a request list), stored through a field/index, or returned — the
+//     recipient owns the completion obligation from there.
+//
+// Iget calls whose result is discarded outright (an expression statement
+// or an assignment to blank) have no handle to Wait on, so only a
+// Flush/WaitAll on some path can complete them; with none, they are
+// reported. Tracking is per function body on the CFG with a forward
+// may/must fixpoint, mirroring lockcheck.
+func RmaLeak() *Analyzer {
+	a := &Analyzer{
+		Name: "rmaleak",
+		Doc: "every nonblocking RMA request (Iget) must reach a Wait or " +
+			"Flush on all paths out of the function",
+	}
+	a.Run = func(pass *Pass) {
+		funcBodies(pass.Pkg, func(name string, decl *ast.FuncDecl, node ast.Node, body *ast.BlockStmt) {
+			rmaLeakFunc(pass, name, body)
+		})
+	}
+	return a
+}
+
+// rmaPending is one in-flight request's state: how certainly it is still
+// pending and where it was issued.
+type rmaPending struct {
+	level int // 1 = pending on some path (may), 2 = pending on all paths (must)
+	pos   token.Pos
+	disp  string // "rq" for var-held requests, "Iget" for discarded results
+	held  bool   // held in a variable (can be Waited) vs discarded
+}
+
+type rmaState map[string]rmaPending
+
+func copyRmaState(s rmaState) rmaState {
+	c := make(rmaState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func joinRmaState(a, b rmaState) rmaState {
+	for k, vb := range b {
+		va, ok := a[k]
+		if !ok {
+			vb.level = 1 // pending on b's path only
+			a[k] = vb
+			continue
+		}
+		if vb.level < va.level {
+			va.level = vb.level
+		}
+		a[k] = va
+	}
+	for k, va := range a {
+		if _, ok := b[k]; !ok && va.level > 1 {
+			va.level = 1 // pending on a's path only
+			a[k] = va
+		}
+	}
+	return a
+}
+
+func equalRmaState(a, b rmaState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || va.level != vb.level {
+			return false
+		}
+	}
+	return true
+}
+
+// rmaLeakFunc checks one function body.
+func rmaLeakFunc(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Fast path: no Iget calls at all.
+	any := false
+	walkShallow(body, func(n ast.Node) bool {
+		if isIgetCall(info, n) {
+			any = true
+		}
+		return !any
+	})
+	if !any {
+		return
+	}
+
+	g := NewCFG(body)
+
+	// Completion points that run on every exit path, panics included.
+	deferFlushAll := false
+	deferWaited := map[string]bool{}
+	for _, d := range g.Defers {
+		collectCompletions(info, d.Call, &deferFlushAll, deferWaited)
+	}
+
+	objKey := func(obj types.Object) string { return fmt.Sprintf("obj:%d", obj.Pos()) }
+
+	transfer := func(b *Block, s rmaState, report bool) rmaState {
+		for _, n := range b.Nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer {
+				// Deferred completions run at function exit, not here; they
+				// are modeled by the deferred sets.
+				continue
+			}
+			// LHS identifiers of tracking assignments must not count as
+			// hand-off uses of their own new request.
+			skip := map[ast.Node]bool{}
+			walkCFGNode(n, func(c ast.Node) bool {
+				switch x := c.(type) {
+				case *ast.AssignStmt:
+					if len(x.Lhs) != len(x.Rhs) {
+						return true
+					}
+					for i, rhs := range x.Rhs {
+						lhs := ast.Unparen(x.Lhs[i])
+						if isIgetCall(info, rhs) {
+							id := exprIdent(lhs)
+							switch {
+							case id == nil:
+								// Stored through a field or index: handed
+								// off to whatever owns that location.
+							case id.Name == "_":
+								// No handle: only a Flush can complete it.
+								s[fmt.Sprintf("pos:%d", rhs.Pos())] = rmaPending{
+									level: 2, pos: rhs.Pos(), disp: "Iget"}
+							default:
+								obj := info.Defs[id]
+								if obj == nil {
+									obj = info.Uses[id]
+								}
+								if obj == nil {
+									continue
+								}
+								if prev, pending := s[objKey(obj)]; report && pending && prev.level == 2 {
+									pass.Reportf(rhs.Pos(),
+										"Iget request in %s overwritten before Wait or Flush (issued at line %d): the overwritten request can never complete",
+										id.Name, pass.Fset.Position(prev.pos).Line)
+								}
+								s[objKey(obj)] = rmaPending{level: 2, pos: rhs.Pos(), disp: id.Name, held: true}
+								skip[id] = true
+							}
+							continue
+						}
+						// `_ = rq` silences the compiler but completes
+						// nothing: keep the request pending.
+						if id := exprIdent(lhs); id != nil && id.Name == "_" {
+							if rhsID := exprIdent(ast.Unparen(rhs)); rhsID != nil {
+								if obj := info.Uses[rhsID]; obj != nil {
+									if _, pending := s[objKey(obj)]; pending {
+										skip[rhsID] = true
+									}
+								}
+							}
+						}
+					}
+					return true
+				case *ast.ExprStmt:
+					if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && isIgetCall(info, call) {
+						s[fmt.Sprintf("pos:%d", call.Pos())] = rmaPending{
+							level: 2, pos: call.Pos(), disp: "Iget"}
+					}
+					return true
+				case *ast.CallExpr:
+					sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					switch sel.Sel.Name {
+					case "Wait":
+						if id := exprIdent(ast.Unparen(sel.X)); id != nil {
+							if obj := info.Uses[id]; obj != nil {
+								if _, pending := s[objKey(obj)]; pending {
+									delete(s, objKey(obj))
+									skip[id] = true
+								}
+							}
+						}
+					case "Flush", "WaitAll":
+						// Completes every pending request on the rank.
+						clear(s)
+					}
+					return true
+				case *ast.Ident:
+					if skip[x] {
+						return true
+					}
+					if obj := info.Uses[x]; obj != nil {
+						// Any other use hands the request off (appended to a
+						// list, passed to a helper, returned): completion
+						// becomes the recipient's obligation.
+						delete(s, objKey(obj))
+					}
+					return true
+				}
+				return true
+			})
+		}
+		return s
+	}
+
+	res := Forward(g, FlowProblem[rmaState]{
+		Init:  rmaState{},
+		Copy:  copyRmaState,
+		Join:  joinRmaState,
+		Equal: equalRmaState,
+		Transfer: func(b *Block, s rmaState) rmaState {
+			return transfer(b, s, false)
+		},
+	})
+
+	// Reporting pass: flow each reachable block once from its fixpoint
+	// in-state, in block order (deterministic).
+	for _, b := range g.Blocks {
+		if _, ok := res.In[b]; !ok {
+			continue // unreachable
+		}
+		transfer(b, copyRmaState(res.In[b]), true)
+	}
+
+	// Exit check: a request still pending when control reaches Exit, with
+	// no deferred completion, is leaked.
+	if deferFlushAll {
+		return
+	}
+	reported := map[token.Pos]bool{}
+	for _, b := range g.Blocks {
+		exits := false
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		out, ok := res.Out[b]
+		if !ok {
+			continue
+		}
+		for _, p := range sortedPending(out) {
+			if deferWaited[p.key] || reported[p.pos] {
+				continue
+			}
+			reported[p.pos] = true
+			if !p.held {
+				pass.Reportf(p.pos,
+					"result of Iget discarded with no Flush on the path to %s returning: the request can never complete; keep the request and Wait, or Flush before returning",
+					name)
+				continue
+			}
+			how := "reaches no Wait or Flush"
+			if p.level == 1 {
+				how = "misses Wait and Flush on some path"
+			}
+			pass.Reportf(p.pos,
+				"Iget request in %s %s before %s returns: complete every request with Wait or Flush on all paths",
+				p.disp, how, name)
+		}
+	}
+}
+
+type pendingEntry struct {
+	key string
+	rmaPending
+}
+
+// sortedPending returns the pending requests in deterministic (issue
+// position) order.
+func sortedPending(s rmaState) []pendingEntry {
+	out := make([]pendingEntry, 0, len(s))
+	for k, v := range s {
+		out = append(out, pendingEntry{key: k, rmaPending: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// isIgetCall recognizes n as a method call named Iget returning a request
+// handle (a value or pointer of a type named Request). Matching by shape
+// rather than by the concrete mpisim types keeps the analyzer honest on
+// any window-like API (and the fixtures self-contained).
+func isIgetCall(info *types.Info, n ast.Node) bool {
+	e, ok := n.(ast.Expr)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Iget" {
+		return false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Request"
+}
+
+// collectCompletions records the completion effect of one deferred call:
+// a Flush/WaitAll (flushes everything), a Wait on a specific request
+// variable, or any of those inside a deferred literal.
+func collectCompletions(info *types.Info, call *ast.CallExpr, flushAll *bool, waited map[string]bool) {
+	record := func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Flush", "WaitAll":
+			*flushAll = true
+		case "Wait":
+			if id := exprIdent(ast.Unparen(sel.X)); id != nil {
+				if obj := info.Uses[id]; obj != nil {
+					waited[fmt.Sprintf("obj:%d", obj.Pos())] = true
+				}
+			}
+		}
+		return true
+	}
+	if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		walkShallow(fl.Body, record)
+		return
+	}
+	record(call)
+}

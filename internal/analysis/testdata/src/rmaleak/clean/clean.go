@@ -1,0 +1,90 @@
+// Package clean holds nonblocking RMA usage where every request reaches a
+// completion point on all paths.
+package clean
+
+type Request struct{ done bool }
+
+func (rq *Request) Wait() float64 { rq.done = true; return 0 }
+
+type Rank struct{ pending []*Request }
+
+func (r *Rank) Flush() float64 { return 0 }
+
+type Window struct{ data []float64 }
+
+func (w *Window) Iget(r *Rank, target, offset int, dst []float64) *Request {
+	return &Request{}
+}
+
+// waitDirect is the basic issue-then-wait pattern.
+func waitDirect(w *Window, r *Rank, dst []float64) {
+	rq := w.Iget(r, 1, 0, dst)
+	rq.Wait()
+}
+
+// discardThenFlush is the bulk-issue idiom: handles dropped, one Flush
+// completes everything.
+func discardThenFlush(w *Window, r *Rank, dst []float64) {
+	for i := 0; i < 3; i++ {
+		w.Iget(r, i, 0, dst)
+	}
+	r.Flush()
+}
+
+// deferFlush completes on every exit path, early returns included.
+func deferFlush(w *Window, r *Rank, dst []float64, cond bool) {
+	defer r.Flush()
+	w.Iget(r, 1, 0, dst)
+	if cond {
+		return
+	}
+	w.Iget(r, 2, 0, dst)
+}
+
+// appended hands the request off to a list whose owner completes it — the
+// grouped bulk-fetch idiom of the LET exchange.
+func appended(w *Window, r *Rank, dst []float64) []*Request {
+	var reqs []*Request
+	for i := 0; i < 3; i++ {
+		rq := w.Iget(r, i, 0, dst)
+		reqs = append(reqs, rq)
+	}
+	return reqs
+}
+
+// appendedInline passes the result straight into the hand-off call.
+func appendedInline(w *Window, r *Rank, dst []float64) []*Request {
+	var reqs []*Request
+	reqs = append(reqs, w.Iget(r, 1, 0, dst))
+	return reqs
+}
+
+// returned transfers the completion obligation to the caller.
+func returned(w *Window, r *Rank, dst []float64) *Request {
+	return w.Iget(r, 1, 0, dst)
+}
+
+// storedInField hands the request to the struct's owner.
+type batch struct{ reqs []*Request }
+
+func storedInField(w *Window, r *Rank, b *batch, dst []float64) {
+	b.reqs = append(b.reqs, w.Iget(r, 1, 0, dst))
+}
+
+// waitOnBothPaths completes the request on every branch.
+func waitOnBothPaths(w *Window, r *Rank, dst []float64, cond bool) {
+	rq := w.Iget(r, 1, 0, dst)
+	if cond {
+		rq.Wait()
+	} else {
+		r.Flush()
+	}
+}
+
+// passedToHelper hands the request to a helper that owns it from there.
+func complete(rq *Request) { rq.Wait() }
+
+func passedToHelper(w *Window, r *Rank, dst []float64) {
+	rq := w.Iget(r, 1, 0, dst)
+	complete(rq)
+}

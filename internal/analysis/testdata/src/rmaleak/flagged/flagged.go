@@ -1,0 +1,65 @@
+// Package flagged holds nonblocking RMA requests that never reach a
+// completion point on some path.
+package flagged
+
+// Request is the completion handle shape rmaleak recognizes.
+type Request struct{ done bool }
+
+func (rq *Request) Wait() float64 { rq.done = true; return 0 }
+
+type Rank struct{ pending []*Request }
+
+func (r *Rank) Flush() float64 { return 0 }
+
+type Window struct{ data []float64 }
+
+func (w *Window) Iget(r *Rank, target, offset int, dst []float64) *Request {
+	return &Request{}
+}
+
+// discardNoFlush throws the handle away with nothing to complete it.
+func discardNoFlush(w *Window, r *Rank, dst []float64) {
+	w.Iget(r, 1, 0, dst) // want "result of Iget discarded with no Flush"
+}
+
+// blankNoFlush discards via blank assignment — same leak, no handle.
+func blankNoFlush(w *Window, r *Rank, dst []float64) {
+	_ = w.Iget(r, 1, 0, dst) // want "result of Iget discarded with no Flush"
+}
+
+// neverWaited keeps the handle but completes nothing; the blank
+// assignment silences the compiler, not the request.
+func neverWaited(w *Window, r *Rank, dst []float64) {
+	rq := w.Iget(r, 1, 0, dst) // want "Iget request in rq reaches no Wait or Flush before neverWaited returns"
+	_ = rq
+}
+
+// waitOnlySometimes misses the wait on the early-return path.
+func waitOnlySometimes(w *Window, r *Rank, dst []float64, cond bool) {
+	rq := w.Iget(r, 1, 0, dst) // want "Iget request in rq misses Wait and Flush on some path before waitOnlySometimes returns"
+	if cond {
+		rq.Wait()
+	}
+}
+
+// overwritten drops the first request by reusing the variable.
+func overwritten(w *Window, r *Rank, dst []float64) {
+	rq := w.Iget(r, 1, 0, dst)
+	rq = w.Iget(r, 2, 0, dst) // want "Iget request in rq overwritten before Wait or Flush"
+	rq.Wait()
+}
+
+// loopDiscard issues one leaked request per iteration and never flushes.
+func loopDiscard(w *Window, r *Rank, dst []float64) {
+	for i := 0; i < 4; i++ {
+		w.Iget(r, i, 0, dst) // want "result of Iget discarded with no Flush"
+	}
+}
+
+// flushOnlySometimes completes the requests on one branch only.
+func flushOnlySometimes(w *Window, r *Rank, dst []float64, cond bool) {
+	w.Iget(r, 1, 0, dst) // want "result of Iget discarded with no Flush"
+	if cond {
+		r.Flush()
+	}
+}

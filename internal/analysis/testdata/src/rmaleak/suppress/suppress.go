@@ -1,0 +1,25 @@
+// Package suppress carries one justified rmaleak suppression: a prefetch
+// whose completion is observed by the next phase's collective flush,
+// outside this function.
+package suppress
+
+type Request struct{ done bool }
+
+func (rq *Request) Wait() float64 { rq.done = true; return 0 }
+
+type Rank struct{ pending []*Request }
+
+func (r *Rank) Flush() float64 { return 0 }
+
+type Window struct{ data []float64 }
+
+func (w *Window) Iget(r *Rank, target, offset int, dst []float64) *Request {
+	return &Request{}
+}
+
+// prefetch warms the next phase's data; the phase barrier's Flush (in the
+// caller) completes it.
+func prefetch(w *Window, r *Rank, dst []float64) {
+	//lint:ignore rmaleak completed by the phase barrier's Flush in the caller
+	w.Iget(r, 1, 0, dst)
+}

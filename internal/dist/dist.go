@@ -59,9 +59,13 @@ type Config struct {
 	// Result.Phi is nil.
 	ModelOnly bool
 	// OverlapComm enables the paper's future-work extension of overlapping
-	// LET communication with computation: the modeled setup time is
-	// reduced by the portion of LET communication that fits under the
-	// precompute phase.
+	// LET communication with computation, as an actually executed pipelined
+	// schedule: the LET bulk fetch is issued as nonblocking gets on the
+	// rank's NIC-occupancy timeline, interaction-list construction and the
+	// local-list batch kernels proceed while the data is in flight, and each
+	// batch waits only on its own requests before launching its remote-list
+	// kernels. Kernel submission order — and therefore Result.Phi — is
+	// bit-identical with and without overlap; only the modeled times move.
 	OverlapComm bool
 	// Precision selects fp64 or fp32 potential kernels.
 	Precision device.Precision
@@ -75,6 +79,12 @@ type Config struct {
 func (c *Config) defaults() error {
 	if c.Ranks < 1 {
 		return fmt.Errorf("dist: ranks must be >= 1, got %d", c.Ranks)
+	}
+	if c.WorkersPerRank < 0 {
+		return fmt.Errorf("dist: workers per rank must be >= 0, got %d", c.WorkersPerRank)
+	}
+	if c.Streams < 0 {
+		return fmt.Errorf("dist: streams must be >= 0, got %d", c.Streams)
 	}
 	if err := c.Params.Validate(); err != nil {
 		return err
@@ -93,18 +103,30 @@ func (c *Config) defaults() error {
 
 // RankReport is one rank's contribution to the run.
 type RankReport struct {
-	Times        perfmodel.PhaseTimes
-	Particles    int
-	TreeNodes    int
-	Batches      int
-	Local        interaction.Stats
-	Remote       interaction.Stats
-	Comm         mpisim.CommStats
-	LETClusters  int
-	LETLeaves    int
-	LETBytes     int64
-	CommTime     float64 // modeled seconds spent in RMA gets
-	OverlapSaved float64 // setup seconds hidden by OverlapComm
+	Times       perfmodel.PhaseTimes
+	Particles   int
+	TreeNodes   int
+	Batches     int
+	Local       interaction.Stats
+	Remote      interaction.Stats
+	Comm        mpisim.CommStats
+	LETClusters int
+	LETLeaves   int
+	LETBytes    int64
+	// CommTime is the modeled seconds this rank's clock advanced inside RMA
+	// operations (synchronous transfers plus wait stalls), from the rank's
+	// CommStats.RMASeconds counter. Wire time hidden under overlapped work
+	// is not included.
+	CommTime float64
+	// LETTraversalTime is the modeled host seconds spent MAC-traversing
+	// remote trees during LET construction, from the LET's MACTests counter.
+	// It was previously folded into CommTime.
+	LETTraversalTime float64
+	// OverlapSaved is the communication wire time hidden under other work
+	// by OverlapComm, measured from the executed timeline: seconds of
+	// bulk-fetch occupancy issued minus stall seconds actually paid at
+	// waits. Exactly zero when OverlapComm is off.
+	OverlapSaved float64
 }
 
 // Result is the outcome of a distributed run.
@@ -213,17 +235,24 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 		wins := let.Expose(r, t, chargesFlat, cfg.Params.Degree)
 		r.Barrier() // all charges exposed before anyone gets them
 
-		commStart := hc.Now()
 		getsBefore := r.Stats.GetBytes
-		l, err := let.Build(r, wins, batches, mac, setupW)
+		rmaBefore := r.Stats.RMASeconds
+		l, fetch, err := let.BuildAsync(r, wins, batches, mac, setupW)
 		if err != nil {
 			return err
 		}
-		rep.CommTime = hc.Now() - commStart // gets + (small) traversal clock
+		if !cfg.OverlapComm {
+			// Serial schedule: complete the bulk fetch before anything
+			// else. The NIC timeline serializes the grouped gets at link
+			// bandwidth, so this costs the same modeled seconds as the
+			// pre-pipelining synchronous exchange.
+			fetch.WaitAll()
+		}
 		rep.LETClusters = len(l.ClusterQhat)
 		rep.LETLeaves = len(l.Leaves)
 		rep.LETBytes = r.Stats.GetBytes - getsBefore
-		hc.Advance(float64(l.Stats.MACTests) / cfg.CPU.MACTestRate)
+		rep.LETTraversalTime = float64(l.Stats.MACTests) / cfg.CPU.MACTestRate
+		hc.Advance(rep.LETTraversalTime)
 
 		listsStart := hc.Now()
 		lists := interaction.BuildListsWorkers(batches, t, mac, cfg.WorkersPerRank)
@@ -240,17 +269,6 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 			// is RCB + local construction, part 2 is windows/LET/lists.
 			tr.Span("setup", trace.CatPhase, r.ID(), trace.TrackHost, 0, setup1)
 			tr.Span("setup", trace.CatPhase, r.ID(), trace.TrackHost, setup1+precompute, hc.Now())
-		}
-
-		if cfg.OverlapComm {
-			// Extension (paper future work): LET communication overlapped
-			// with the precompute phase hides min(comm, precompute). Only
-			// the reported setup time shrinks; the rank's clock (and hence
-			// kernel submission order) is unchanged, which keeps the
-			// functional results identical with and without overlap.
-			saved := math.Min(rep.CommTime, precompute)
-			setup2 -= saved
-			rep.OverlapSaved = saved
 		}
 
 		// --- Compute: local + LET interaction lists on the device. ---
@@ -274,6 +292,17 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 			for _, ci := range lists.Approx[bi] {
 				ln.LaunchApprox(tg, b.Lo, b.Count(), cd.PX[ci], cd.PY[ci], cd.PZ[ci], cd.Qhat[ci], phi)
 			}
+			if cfg.OverlapComm {
+				// Pipelined schedule: the local-list launches above needed
+				// no remote data and ran with the bulk fetch still in
+				// flight; complete just this batch's LET requests before
+				// its remote-list launches. Requests shared with earlier
+				// batches are already done; stalls shrink as the fetch
+				// progressively completes under compute. The launch call
+				// sequence is identical to the serial schedule, so the
+				// functional accumulation order — and Phi — is unchanged.
+				fetch.WaitBatch(l, bi)
+			}
 			for _, li := range l.Direct[bi] {
 				leaf := l.Leaves[li]
 				ln.LaunchDirect(tg, b.Lo, b.Count(), leaf, 0, leaf.Len(), phi)
@@ -283,6 +312,7 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 					l.ClusterPX[li], l.ClusterPY[li], l.ClusterPZ[li], l.ClusterQhat[li], phi)
 			}
 		}
+		fetch.WaitAll() // drain any LET requests no batch referenced
 		hc.AdvanceTo(dev.Drain())
 		hc.AdvanceTo(dev.CopyOut(hc.Now(), 8*nTg))
 		compute := hc.Now() - computeStart
@@ -292,6 +322,12 @@ func Run(cfg Config, k kernel.Kernel, pts *particle.Set) (*Result, error) {
 		rep.Times[perfmodel.PhasePrecompute] = precompute
 		rep.Times[perfmodel.PhaseCompute] = compute
 		rep.Comm = r.Stats
+		rep.CommTime = r.Stats.RMASeconds - rmaBefore
+		// Overlap win, measured from the executed timeline: wire seconds
+		// the bulk fetch occupied the NIC minus the stall seconds actually
+		// paid waiting on it. Zero by construction on the serial schedule
+		// (WaitAll immediately after issue pays every second).
+		rep.OverlapSaved = fetch.IssuedSeconds() - fetch.StalledSeconds()
 
 		// Scatter local potentials into the global result. The batch
 		// permutation maps batch order back to local-partition order;

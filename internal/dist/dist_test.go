@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -150,7 +151,7 @@ func TestStrongScalingImprovesTotalTime(t *testing.T) {
 	}
 }
 
-func TestOverlapCommReducesSetup(t *testing.T) {
+func TestOverlapCommReducesSetupAndTotal(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	pts := particle.UniformCube(12000, rng)
 	k := kernel.Coulomb{}
@@ -166,33 +167,101 @@ func TestOverlapCommReducesSetup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The pipelined schedule removes the bulk-fetch wait from setup
+	// entirely; compute may grow by the stalls actually paid, but the wire
+	// time hidden under list construction and local-list kernels must win
+	// on the whole: setup AND total strictly lower.
 	if overlapped.Times[perfmodel.PhaseSetup] >= plain.Times[perfmodel.PhaseSetup] {
 		t.Errorf("overlap did not reduce setup: %.4g vs %.4g",
 			overlapped.Times[perfmodel.PhaseSetup], plain.Times[perfmodel.PhaseSetup])
 	}
-	// Other phases unchanged.
-	if overlapped.Times[perfmodel.PhaseCompute] != plain.Times[perfmodel.PhaseCompute] {
-		t.Errorf("overlap changed compute time")
+	if overlapped.Times.Total() >= plain.Times.Total() {
+		t.Errorf("overlap did not reduce total: %.4g vs %.4g",
+			overlapped.Times.Total(), plain.Times.Total())
+	}
+	// Precompute happens before the fetch is issued and is untouched.
+	if overlapped.Times[perfmodel.PhasePrecompute] != plain.Times[perfmodel.PhasePrecompute] {
+		t.Errorf("overlap changed precompute time")
+	}
+	for i := range plain.Ranks {
+		if s := plain.Ranks[i].OverlapSaved; s != 0 {
+			t.Errorf("rank %d: serial schedule reports OverlapSaved=%.4g, want 0", i, s)
+		}
+		ov := &overlapped.Ranks[i]
+		if ov.OverlapSaved <= 0 {
+			t.Errorf("rank %d: overlapped schedule hid no wire time", i)
+		}
+		// The executed timeline must balance: the serial schedule pays the
+		// whole fetch as stalls, so the RMA-time reduction equals the
+		// reported hidden time (up to fp summation order).
+		drop := plain.Ranks[i].CommTime - ov.CommTime
+		if diff := math.Abs(drop-ov.OverlapSaved) / ov.OverlapSaved; diff > 1e-9 {
+			t.Errorf("rank %d: OverlapSaved %.6g but RMA time dropped by %.6g",
+				i, ov.OverlapSaved, drop)
+		}
+		if ov.CommTime >= plain.Ranks[i].CommTime {
+			t.Errorf("rank %d: overlap did not reduce RMA stall time: %.4g vs %.4g",
+				i, ov.CommTime, plain.Ranks[i].CommTime)
+		}
 	}
 }
 
 func TestOverlapDoesNotChangeResults(t *testing.T) {
+	// The acceptance bar for the pipelined schedule: Phi byte-identical
+	// (exact ==) with and without OverlapComm at every rank count and
+	// worker count, because kernel submission order is unchanged — only
+	// submission *times* move.
 	rng := rand.New(rand.NewSource(8))
 	pts := particle.UniformCube(3000, rng)
 	k := kernel.Coulomb{}
-	cfg := testConfig(3)
-	plain, err := Run(cfg, k, pts)
+	for _, ranks := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 2, 0} {
+			cfg := testConfig(ranks)
+			cfg.WorkersPerRank = workers
+			plain, err := Run(cfg, k, pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.OverlapComm = true
+			overlapped, err := Run(cfg, k, pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range plain.Phi {
+				if plain.Phi[i] != overlapped.Phi[i] {
+					t.Fatalf("ranks=%d workers=%d: potential %d differs with overlap",
+						ranks, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCommTimeSplitFromTraversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := particle.UniformCube(6000, rng)
+	res, err := Run(testConfig(4), kernel.Coulomb{}, pts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.OverlapComm = true
-	overlapped, err := Run(cfg, k, pts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range plain.Phi {
-		if plain.Phi[i] != overlapped.Phi[i] {
-			t.Fatalf("potential %d differs with overlap", i)
+	for i := range res.Ranks {
+		rep := &res.Ranks[i]
+		if rep.CommTime <= 0 {
+			t.Errorf("rank %d: CommTime %.4g not positive", i, rep.CommTime)
+		}
+		if rep.LETTraversalTime <= 0 {
+			t.Errorf("rank %d: LETTraversalTime %.4g not positive", i, rep.LETTraversalTime)
+		}
+		// CommTime is RMA-only, straight from the rank's counter.
+		if rep.CommTime != rep.Comm.RMASeconds {
+			t.Errorf("rank %d: CommTime %.6g != Comm.RMASeconds %.6g",
+				i, rep.CommTime, rep.Comm.RMASeconds)
+		}
+		// The traversal share comes from its own counter.
+		want := float64(rep.Remote.MACTests) / perfmodel.XeonX5650().MACTestRate
+		if rep.LETTraversalTime != want {
+			t.Errorf("rank %d: LETTraversalTime %.6g, want %.6g from MAC counter",
+				i, rep.LETTraversalTime, want)
 		}
 	}
 }
@@ -205,5 +274,11 @@ func TestRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := Run(Config{Ranks: 2, Params: core.Params{Theta: 2}}, kernel.Coulomb{}, pts); err == nil {
 		t.Error("expected error for bad theta")
+	}
+	if _, err := Run(Config{Ranks: 2, Params: core.DefaultParams(), WorkersPerRank: -1}, kernel.Coulomb{}, pts); err == nil {
+		t.Error("expected error for negative workers per rank")
+	}
+	if _, err := Run(Config{Ranks: 2, Params: core.DefaultParams(), Streams: -3}, kernel.Coulomb{}, pts); err == nil {
+		t.Error("expected error for negative streams")
 	}
 }

@@ -63,3 +63,48 @@ func TestTraceDeterministicAcrossRuns(t *testing.T) {
 		t.Errorf("spans cover %d ranks, want 4", len(ranks))
 	}
 }
+
+// TestOverlappedTraceDeterministicAcrossRuns is the golden-trace check for
+// the pipelined schedule: a 2-rank overlapped run must export a
+// byte-identical Chrome trace across runs even though per-batch waits
+// interleave rma.wait spans with kernel launches, and the async span
+// taxonomy (rma.iget / rma.wait) must actually appear.
+func TestOverlappedTraceDeterministicAcrossRuns(t *testing.T) {
+	solve := func() ([]byte, []trace.Span) {
+		rng := rand.New(rand.NewSource(11))
+		pts := particle.UniformCube(3000, rng)
+		cfg := testConfig(2)
+		cfg.OverlapComm = true
+		cfg.Tracer = trace.New()
+		if _, err := Run(cfg, kernel.Coulomb{}, pts); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Tracer.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), cfg.Tracer.Spans()
+	}
+
+	traceA, spansA := solve()
+	traceB, _ := solve()
+	if !bytes.Equal(traceA, traceB) {
+		t.Errorf("overlapped trace export differs between identical runs (%d vs %d bytes)",
+			len(traceA), len(traceB))
+	}
+	names := map[string]int{}
+	for _, s := range spansA {
+		names[s.Name]++
+	}
+	for _, name := range []string{"rma.iget", "rma.wait"} {
+		if names[name] == 0 {
+			t.Errorf("no %q spans in overlapped trace", name)
+		}
+	}
+	// The eager tree-array fetch stays synchronous (rma.get); the bulk
+	// fetch must be fully nonblocking, so igets dominate the gets.
+	if names["rma.iget"] <= names["rma.get"] {
+		t.Errorf("only %d rma.iget spans vs %d rma.get — bulk fetch not asynchronous",
+			names["rma.iget"], names["rma.get"])
+	}
+}

@@ -135,38 +135,107 @@ func traverseRemote(b *tree.Batch, view *TreeView, mac interaction.MAC, np int, 
 	return stack
 }
 
-// Build constructs this rank's LET: for every remote rank it gets the tree
-// arrays, traverses them against the local target batches with the MAC, and
-// gets exactly the cluster charges and source particles the resulting
-// interaction lists require. All communication is one-sided; no remote rank
-// participates.
+// Fetch tracks the in-flight bulk-fetch stage of an asynchronously built
+// LET: one nonblocking request per fetched cluster charge array and per
+// fetched leaf particle block, indexed exactly like the LET's cluster and
+// leaf slices. The functional data is already in place when BuildAsync
+// returns (Iget copies immediately); Fetch only carries the modeled
+// completion times, so waiting is purely a clock operation.
+type Fetch struct {
+	r       *mpisim.Rank
+	cluster []*mpisim.Request // per LET cluster index; nil = nothing issued
+	leaf    []*mpisim.Request // per LET leaf index
+	issued  float64           // total modeled wire seconds issued
+	stalled float64           // total stall seconds paid by waits so far
+}
+
+// WaitBatch completes, in modeled time, every request batch bi's remote
+// interaction lists depend on. Requests shared with earlier batches are
+// already complete and cost nothing; with no remote work for the batch it
+// is a no-op.
+func (f *Fetch) WaitBatch(l *LET, bi int) {
+	for _, li := range l.Approx[bi] {
+		if rq := f.cluster[li]; rq != nil && !rq.Done() {
+			f.stalled += rq.Wait()
+		}
+	}
+	for _, li := range l.Direct[bi] {
+		if rq := f.leaf[li]; rq != nil && !rq.Done() {
+			f.stalled += rq.Wait()
+		}
+	}
+}
+
+// WaitAll completes every outstanding request of the fetch (and any other
+// nonblocking operation the rank has in flight), advancing the clock to
+// the last completion. Calling it after the per-batch waits is a cheap
+// no-op that keeps the rank's pending queue drained.
+func (f *Fetch) WaitAll() {
+	f.stalled += f.r.Flush()
+}
+
+// IssuedSeconds returns the total modeled wire time of the bulk fetch —
+// what a synchronous fetch would have charged the origin clock inline.
+func (f *Fetch) IssuedSeconds() float64 { return f.issued }
+
+// StalledSeconds returns the stall actually paid by waits so far. The
+// difference IssuedSeconds() - StalledSeconds() is the communication time
+// hidden under whatever the origin did between issue and wait, measured
+// from the executed timeline.
+func (f *Fetch) StalledSeconds() float64 { return f.stalled }
+
+// remotePlan is the traversal stage's output for one remote rank: its
+// deserialized tree view and the remote nodes the bulk-fetch stage must
+// pull, in first-encounter order.
+type remotePlan struct {
+	remote                   int
+	view                     *TreeView
+	approxNodes, directNodes []int32
+}
+
+// BuildAsync constructs this rank's LET in two stages. The traversal
+// stage fetches every remote rank's tree geometry/topology arrays eagerly
+// (synchronous gets — they gate the MAC decisions) and traverses them
+// against the local target batches, fixing the interaction lists and the
+// first-encounter order of remote clusters and leaves. The bulk-fetch
+// stage then issues the direct-leaf particles and cluster charge arrays as
+// grouped nonblocking Igets: the functional copies happen immediately, so
+// the returned LET is complete as data, while the modeled completions ride
+// on the origin's NIC-occupancy timeline inside the returned Fetch. The
+// caller chooses the schedule: Fetch.WaitAll right away reproduces the
+// serial exchange, per-batch WaitBatch calls interleaved with compute
+// pipeline it.
 //
 // The per-batch traversals run on up to `workers` goroutines (<= 0 selects
 // GOMAXPROCS); batches are independent, and the traversal results are
 // merged serially in batch order afterwards, so the LET — including the
-// first-encounter ordering of fetched clusters/leaves, the RMA Get
-// sequence, the Stats counters and therefore all modeled times and traces —
-// is identical to the serial construction for every worker count.
-func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interaction.MAC, workers int) (*LET, error) {
+// first-encounter ordering of fetched clusters/leaves, the RMA sequence,
+// the Stats counters and therefore all modeled times and traces — is
+// identical for every worker count.
+func BuildAsync(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interaction.MAC, workers int) (*LET, *Fetch, error) {
 	l := &LET{
 		Degree: wins.Degree,
 		Approx: make([][]int32, len(batches.Batches)),
 		Direct: make([][]int32, len(batches.Batches)),
 	}
+	f := &Fetch{r: r}
 	np := mac.InterpPoints()
 	buildStart := r.Clock.Now()
 	results := make([]remoteTraversal, len(batches.Batches))
+	var plans []remotePlan
+	nClusters, nLeaves := 0, 0
+
+	// --- Stage 1: eager tree fetch + MAC traversal per remote rank. ---
 	for remote := 0; remote < r.Size(); remote++ {
 		if remote == r.ID() {
 			continue
 		}
-		// Step 1: get the remote tree arrays and build interaction lists.
 		geomArr := wins.Geom.GetAll(r, remote)
 		topoArr := wins.Topo.GetAll(r, remote)
 		childArr := wins.Child.GetAll(r, remote)
 		view, err := Deserialize(geomArr, topoArr, childArr)
 		if err != nil {
-			return nil, fmt.Errorf("let: rank %d decoding rank %d tree: %w", r.ID(), remote, err)
+			return nil, nil, fmt.Errorf("let: rank %d decoding rank %d tree: %w", r.ID(), remote, err)
 		}
 		if view.N == 0 {
 			continue
@@ -185,24 +254,24 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 
 		approxIdx := map[int32]int32{} // remote node -> LET cluster index
 		directIdx := map[int32]int32{} // remote node -> LET leaf index
-		var approxNodes, directNodes []int32
+		plan := remotePlan{remote: remote, view: view}
 		for bi := range results {
 			res := &results[bi]
 			for _, ci := range res.approx {
 				li, ok := approxIdx[ci]
 				if !ok {
-					li = int32(len(l.ClusterPX) + len(approxNodes))
+					li = int32(nClusters + len(plan.approxNodes))
 					approxIdx[ci] = li
-					approxNodes = append(approxNodes, ci)
+					plan.approxNodes = append(plan.approxNodes, ci)
 				}
 				l.Approx[bi] = append(l.Approx[bi], li)
 			}
 			for _, ci := range res.direct {
 				li, ok := directIdx[ci]
 				if !ok {
-					li = int32(len(l.Leaves) + len(directNodes))
+					li = int32(nLeaves + len(plan.directNodes))
 					directIdx[ci] = li
-					directNodes = append(directNodes, ci)
+					plan.directNodes = append(plan.directNodes, ci)
 				}
 				l.Direct[bi] = append(l.Direct[bi], li)
 			}
@@ -212,14 +281,24 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 			l.Stats.ApproxInteractions += res.stats.ApproxInteractions
 			l.Stats.DirectInteractions += res.stats.DirectInteractions
 		}
+		nClusters += len(plan.approxNodes)
+		nLeaves += len(plan.directNodes)
+		plans = append(plans, plan)
+	}
 
-		// Step 2: get the cluster charges and particles the lists demand.
-		if len(approxNodes) > 0 {
+	// --- Stage 2: grouped nonblocking bulk fetch of charges + particles. ---
+	f.cluster = make([]*mpisim.Request, 0, nClusters)
+	f.leaf = make([]*mpisim.Request, 0, nLeaves)
+	for _, plan := range plans {
+		remote, view := plan.remote, plan.view
+		if len(plan.approxNodes) > 0 {
 			epochStart := r.Clock.Now()
 			wins.Charges.Lock(remote)
-			for _, ci := range approxNodes {
+			for _, ci := range plan.approxNodes {
 				qhat := make([]float64, np)
-				wins.Charges.Get(r, remote, int(ci)*np, qhat)
+				rq := wins.Charges.Iget(r, remote, int(ci)*np, qhat)
+				f.cluster = append(f.cluster, rq)
+				f.issued += rq.Duration()
 				g := chebyshev.NewGrid3D(wins.Degree, view.Boxes[ci])
 				px, py, pz := g.FlattenedPoints()
 				l.ClusterPX = append(l.ClusterPX, px)
@@ -231,15 +310,17 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 			wins.Charges.Unlock(remote)
 			r.Tracer.Span("rma.epoch", trace.CatComm, r.ID(), trace.TrackNet,
 				epochStart, r.Clock.Now(),
-				trace.A("target", remote), trace.A("ops", len(approxNodes)))
+				trace.A("target", remote), trace.A("ops", len(plan.approxNodes)))
 		}
-		if len(directNodes) > 0 {
+		if len(plan.directNodes) > 0 {
 			epochStart := r.Clock.Now()
 			wins.Particles.Lock(remote)
-			for _, ci := range directNodes {
+			for _, ci := range plan.directNodes {
 				count := int(view.Count[ci])
 				buf := make([]float64, 4*count)
-				wins.Particles.Get(r, remote, int(view.Lo[ci])*4, buf)
+				rq := wins.Particles.Iget(r, remote, int(view.Lo[ci])*4, buf)
+				f.leaf = append(f.leaf, rq)
+				f.issued += rq.Duration()
 				set := particle.NewSet(count)
 				for j := 0; j < count; j++ {
 					set.Append(buf[4*j], buf[4*j+1], buf[4*j+2], buf[4*j+3])
@@ -250,9 +331,10 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 			wins.Particles.Unlock(remote)
 			r.Tracer.Span("rma.epoch", trace.CatComm, r.ID(), trace.TrackNet,
 				epochStart, r.Clock.Now(),
-				trace.A("target", remote), trace.A("ops", len(directNodes)))
+				trace.A("target", remote), trace.A("ops", len(plan.directNodes)))
 		}
 	}
+
 	r.Tracer.Span("let.build", trace.CatBuild, r.ID(), trace.TrackHost,
 		buildStart, r.Clock.Now(),
 		trace.A("clusters", len(l.ClusterQhat)), trace.A("leaves", len(l.Leaves)),
@@ -260,6 +342,21 @@ func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interactio
 	r.Tracer.Add("let.clusters", float64(len(l.ClusterQhat)))
 	r.Tracer.Add("let.leaves", float64(len(l.Leaves)))
 	r.Tracer.Add("let.bytes", float64(l.Bytes()))
+	return l, f, nil
+}
+
+// Build constructs this rank's LET with the serial (fully waited)
+// schedule: BuildAsync followed immediately by Fetch.WaitAll. The modeled
+// clock ends exactly where the pre-pipelining synchronous exchange left
+// it — the NIC timeline serializes the grouped Igets at link bandwidth, so
+// waiting on all of them right away costs the same seconds as getting each
+// inline. All communication is one-sided; no remote rank participates.
+func Build(r *mpisim.Rank, wins *Windows, batches *tree.BatchSet, mac interaction.MAC, workers int) (*LET, error) {
+	l, f, err := BuildAsync(r, wins, batches, mac, workers)
+	if err != nil {
+		return nil, err
+	}
+	f.WaitAll()
 	return l, nil
 }
 

@@ -63,20 +63,41 @@ type Rank struct {
 	winSeq  int
 	collSeq int
 
+	// nic is this rank's origin-side network-occupancy timeline: every
+	// one-sided operation the rank issues reserves the link in issue
+	// order, so concurrent in-flight gets serialize on link bandwidth.
+	nic perfmodel.NICTimeline
+	// pending holds the nonblocking requests issued and not yet flushed.
+	pending []*Request
+	// inflightBytes is the payload volume currently in flight.
+	inflightBytes int64
+
 	// Stats counts this rank's communication activity.
 	Stats CommStats
 }
 
 // CommStats counts one rank's communication operations and volume.
 type CommStats struct {
-	// Gets and Puts count one-sided operations this rank originated.
+	// Gets and Puts count one-sided operations this rank originated
+	// (nonblocking gets included).
 	Gets int
 	Puts int
+	// IGets counts the nonblocking (Iget) operations among Gets.
+	IGets int
 	// GetBytes and PutBytes total the payload moved by those operations.
 	GetBytes int64
 	PutBytes int64
 	// Barriers counts collective barrier participations.
 	Barriers int
+	// RMASeconds totals the modeled seconds this rank's clock advanced
+	// inside RMA operations: synchronous Get/Put transfers plus the stall
+	// portion of Wait/Flush. In-flight wire time hidden under other work
+	// is *not* counted, which is what makes comm/compute overlap
+	// measurable from the executed timeline.
+	RMASeconds float64
+	// InflightPeakBytes is the high-water mark of nonblocking payload
+	// bytes in flight at once on this rank's NIC.
+	InflightPeakBytes int64
 }
 
 // ID returns the rank number in [0, Size).

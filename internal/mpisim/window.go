@@ -103,9 +103,25 @@ func (w *Window[T]) Lock(target int) { w.shared.locks[target].Lock() }
 // issued while holding the lock are complete when Unlock returns.
 func (w *Window[T]) Unlock(target int) { w.shared.locks[target].Unlock() }
 
+// completeTransfer reserves the origin NIC for one synchronous transfer of
+// nbytes to/from target and advances the clock to its completion. With an
+// idle link this is the classic inline advance by TransferTime; with
+// nonblocking operations still in flight the transfer queues behind them,
+// so synchronous and asynchronous traffic share one occupancy timeline.
+func (r *Rank) completeTransfer(target, nbytes int) {
+	if target == r.id {
+		return // self transfers bypass the NIC and are free
+	}
+	now := r.Clock.Now()
+	_, completion := r.nic.Enqueue(now, r.comm.net.TransferTime(r.id, target, nbytes))
+	r.Clock.AdvanceTo(completion)
+	r.Stats.RMASeconds += r.Clock.Now() - now
+}
+
 // Get copies len(dst) elements starting at offset from the target rank's
 // window into dst, advancing the origin's clock by the modeled transfer
-// time. The caller must hold the target's lock.
+// time (queued behind any in-flight nonblocking operations). The caller
+// must hold the target's lock.
 func (w *Window[T]) Get(r *Rank, target, offset int, dst []T) {
 	src := w.shared.data[target]
 	if offset < 0 || offset+len(dst) > len(src) {
@@ -117,15 +133,16 @@ func (w *Window[T]) Get(r *Rank, target, offset int, dst []T) {
 	r.Stats.Gets++
 	r.Stats.GetBytes += int64(nbytes)
 	start := r.Clock.Now()
-	r.Clock.Advance(r.comm.net.TransferTime(r.id, target, nbytes))
+	r.completeTransfer(target, nbytes)
 	r.Tracer.Span("rma.get", trace.CatComm, r.id, trace.TrackNet, start, r.Clock.Now(),
 		trace.A("target", target), trace.A("bytes", nbytes))
 	r.Tracer.Add("rma.get_bytes", float64(nbytes))
 }
 
 // Put copies src into the target rank's window starting at offset,
-// advancing the origin's clock by the modeled transfer time. The caller
-// must hold the target's lock.
+// advancing the origin's clock by the modeled transfer time (queued behind
+// any in-flight nonblocking operations). The caller must hold the
+// target's lock.
 func (w *Window[T]) Put(r *Rank, target, offset int, src []T) {
 	dst := w.shared.data[target]
 	if offset < 0 || offset+len(src) > len(dst) {
@@ -137,7 +154,7 @@ func (w *Window[T]) Put(r *Rank, target, offset int, src []T) {
 	r.Stats.Puts++
 	r.Stats.PutBytes += int64(nbytes)
 	start := r.Clock.Now()
-	r.Clock.Advance(r.comm.net.TransferTime(r.id, target, nbytes))
+	r.completeTransfer(target, nbytes)
 	r.Tracer.Span("rma.put", trace.CatComm, r.id, trace.TrackNet, start, r.Clock.Now(),
 		trace.A("target", target), trace.A("bytes", nbytes))
 	r.Tracer.Add("rma.put_bytes", float64(nbytes))

@@ -309,3 +309,40 @@ func (ns NetworkSpec) TransferTime(a, b, nbytes int) float64 {
 	}
 	return lat + float64(nbytes)/bw
 }
+
+// NICTimeline is the occupancy timeline of one origin-side network
+// interface. Nonblocking one-sided operations issued by a rank do not
+// advance its clock inline; instead each reserves the link here, so
+// concurrent in-flight transfers serialize on link bandwidth (the NIC
+// serves one transfer at a time) rather than all magically proceeding at
+// full rate. The origin's clock is only advanced when it *waits* on a
+// completion, which is what makes communication/compute overlap a modeled
+// reality instead of a bookkeeping subtraction.
+//
+// Each rank owns one timeline; transfer durations come from
+// NetworkSpec.TransferTime. The zero value is an idle link at time zero.
+type NICTimeline struct {
+	free float64
+}
+
+// Enqueue reserves the link for one transfer of the given duration issued
+// at modeled time now. The transfer starts when the link is free — no
+// earlier than now — and occupies it through start+duration. It returns
+// the transfer's start and completion times; the link is busy until the
+// returned completion.
+func (n *NICTimeline) Enqueue(now, duration float64) (start, completion float64) {
+	if duration < 0 {
+		panic(fmt.Sprintf("perfmodel: negative transfer duration %g", duration))
+	}
+	start = now
+	if n.free > start {
+		start = n.free
+	}
+	completion = start + duration
+	n.free = completion
+	return start, completion
+}
+
+// FreeAt returns the modeled time at which the link next becomes idle
+// (<= now means it is idle now).
+func (n *NICTimeline) FreeAt() float64 { return n.free }

@@ -26,6 +26,12 @@ type Fig6Config struct {
 	GPU     perfmodel.GPUSpec
 	CPU     perfmodel.CPUSpec
 	Net     perfmodel.NetworkSpec
+	// Overlap selects the pipelined LET-exchange schedule (OverlapComm):
+	// the bulk fetch rides the NIC-occupancy timeline under list
+	// construction and the local-list kernels instead of being waited out
+	// in setup. Results are identical; the setup-share crossover moves to
+	// higher rank counts.
+	Overlap bool
 }
 
 // DefaultFig6 returns the paper's configuration with sizes scaled by
@@ -59,6 +65,10 @@ type Fig6Point struct {
 	GPUs       int
 	Times      perfmodel.PhaseTimes
 	Efficiency float64 // relative to the 1-GPU run of the same (kernel, N)
+	// OverlapSaved is the largest per-rank communication wire time hidden
+	// under other work (zero on the serial schedule), measured from the
+	// executed timeline.
+	OverlapSaved float64
 }
 
 // Fig6Result holds the strong-scaling series.
@@ -77,12 +87,13 @@ func RunFig6(cfg Fig6Config, progress io.Writer) (*Fig6Result, error) {
 			var t1 float64
 			for _, gpus := range cfg.GPUs {
 				out, err := dist.Run(dist.Config{
-					Ranks:     gpus,
-					Params:    cfg.Params,
-					GPU:       cfg.GPU,
-					CPU:       cfg.CPU,
-					Net:       cfg.Net,
-					ModelOnly: true,
+					Ranks:       gpus,
+					Params:      cfg.Params,
+					GPU:         cfg.GPU,
+					CPU:         cfg.CPU,
+					Net:         cfg.Net,
+					ModelOnly:   true,
+					OverlapComm: cfg.Overlap,
 				}, k, pts)
 				if err != nil {
 					return nil, err
@@ -92,12 +103,19 @@ func RunFig6(cfg Fig6Config, progress io.Writer) (*Fig6Result, error) {
 					t1 = tot * float64(cfg.GPUs[0])
 				}
 				eff := t1 / (float64(gpus) * tot)
+				var saved float64
+				for i := range out.Ranks {
+					if s := out.Ranks[i].OverlapSaved; s > saved {
+						saved = s
+					}
+				}
 				res.Points = append(res.Points, Fig6Point{
-					Kernel:     k.Name(),
-					N:          n,
-					GPUs:       gpus,
-					Times:      out.Times,
-					Efficiency: eff,
+					Kernel:       k.Name(),
+					N:            n,
+					GPUs:         gpus,
+					Times:        out.Times,
+					Efficiency:   eff,
+					OverlapSaved: saved,
 				})
 				if progress != nil {
 					fmt.Fprintf(progress, "fig6 %-8s N=%-10d gpus=%-3d total=%8.2fs eff=%5.1f%% (%v)\n",
@@ -149,6 +167,26 @@ func (r *Fig6Result) RenderPhases(w io.Writer) {
 			}
 		}
 	}
+}
+
+// SetupCrossover returns the smallest configured GPU count at which the
+// non-compute share (setup + precompute) of the given (kernel, N) series
+// reaches the compute share — the point where the paper's Figure 6(c,d)
+// phase bars flip from compute-dominated to setup-dominated. It returns 0
+// when compute dominates at every configured count. Pipelining the LET
+// exchange (Config.Overlap) pushes the crossover to higher rank counts.
+func (r *Fig6Result) SetupCrossover(kernelName string, n int) int {
+	for _, g := range r.Config.GPUs {
+		for _, p := range r.Points {
+			if p.Kernel != kernelName || p.N != n || p.GPUs != g {
+				continue
+			}
+			if compute := p.Times[perfmodel.PhaseCompute]; p.Times.Total()-compute >= compute {
+				return g
+			}
+		}
+	}
+	return 0
 }
 
 // CheckShape verifies Figure 6's qualitative claims:

@@ -2,33 +2,43 @@
 # scripts/bench.sh — run the performance benchmarks tracked by this repo
 # (block-kernel micro-bench, list construction, charge pass, cluster-grid
 # layout, tree/batch build, end-to-end CPU and simulated-device treecode,
-# compute-phase-only evaluation, amortized-plan solve, served solve, and
-# the 100k leapfrog stepping pair: Plan.Update vs rebuild-every-step) and
-# record the results.
+# compute-phase-only evaluation, amortized-plan solve, served solve, the
+# 100k leapfrog stepping pair: Plan.Update vs rebuild-every-step, and the
+# 4-rank distributed solve on both LET-exchange schedules: serial vs
+# pipelined OverlapComm) and record the results.
 #
 # Usage:
-#   scripts/bench.sh               # record current tree -> BENCH_PR8.current.txt
-#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR8.baseline.txt
+#   scripts/bench.sh               # record current tree -> BENCH_PR9.current.txt
+#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR9.baseline.txt
 #   scripts/bench.sh -count 5      # more repetitions (default 3)
-#   scripts/bench.sh -regen        # only rebuild BENCH_PR8.json from the
+#   scripts/bench.sh -regen        # only rebuild BENCH_PR9.json from the
 #                                  # existing text files (e.g. after appending
 #                                  # extra repetitions recorded by hand)
 #   scripts/bench.sh -serving      # also run the bltcd load harness and merge
 #                                  # its latency/throughput record into
-#                                  # BENCH_PR8.json (see scripts/load.sh)
+#                                  # BENCH_PR9.json (see scripts/load.sh)
+#   scripts/bench.sh -fig6         # also run the Fig. 6 phase sweep at the
+#                                  # paper's rank counts (up to 32 ranks,
+#                                  # 62.5k and 250k particles, Coulomb +
+#                                  # Yukawa, both schedules; modeled time
+#                                  # only) and merge the record under the
+#                                  # "fig6" key: per-point setup shares and
+#                                  # the setup-share crossover under the
+#                                  # serial and pipelined schedules
 #
 # Both text files are benchstat-compatible; compare with
-#   benchstat BENCH_PR8.baseline.txt BENCH_PR8.current.txt
-# After every run the JSON summary BENCH_PR8.json is regenerated from
+#   benchstat BENCH_PR9.baseline.txt BENCH_PR9.current.txt
+# After every run the JSON summary BENCH_PR9.json is regenerated from
 # whichever text files exist: per-benchmark best-of-count ns/op, B/op and
 # allocs/op for baseline and current, plus speedup ratios where both sides
 # have the benchmark. Every repetition's ns/op is recorded in the text
 # file; the JSON keeps the per-bench minimum across the -count runs, which
 # suppresses scheduler noise that otherwise reads as phantom regressions.
 # With -serving the load harness's record rides along under the "serving"
-# key (the harness read-merges, so bench and loadtest results coexist).
-# See docs/performance.md. The PR3-PR6 records (BENCH_PR{3,4,5,6}.*) are
-# kept as history and no longer regenerated.
+# key and with -fig6 the phase sweep under the "fig6" key (benchjson
+# read-merges, so all three writers coexist). See docs/performance.md.
+# The PR3-PR8 records (BENCH_PR{3,4,5,6,8}.*) are kept as history and no
+# longer regenerated.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -37,6 +47,7 @@ COUNT=3
 SECTION=current
 REGEN=0
 SERVING=0
+FIG6=0
 while [ $# -gt 0 ]; do
     case "$1" in
     -count)
@@ -55,20 +66,24 @@ while [ $# -gt 0 ]; do
         SERVING=1
         shift
         ;;
+    -fig6)
+        FIG6=1
+        shift
+        ;;
     *)
-        echo "usage: scripts/bench.sh [-count N] [-baseline] [-regen] [-serving]" >&2
+        echo "usage: scripts/bench.sh [-count N] [-baseline] [-regen] [-serving] [-fig6]" >&2
         exit 2
         ;;
     esac
 done
 
-BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k|BenchmarkPlanSolve50k|BenchmarkServeSolve20k|BenchmarkLeapfrogStep100k|BenchmarkLeapfrogStep100kRebuild)$'
+BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k|BenchmarkPlanSolve50k|BenchmarkServeSolve20k|BenchmarkLeapfrogStep100k|BenchmarkLeapfrogStep100kRebuild|BenchmarkDistributed4Ranks|BenchmarkDistributedOverlap4Ranks)$'
 
 SECTIONS=$(mktemp)
 trap 'rm -f "$SECTIONS"' EXIT
 
 if [ "$REGEN" = 0 ]; then
-    go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR8.$SECTION.txt"
+    go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR9.$SECTION.txt"
 fi
 
 # Regenerate the JSON summary from the recorded text files. For each
@@ -130,18 +145,31 @@ END {
     }
     printf "\n  }\n}\n"
 }
-' $(ls BENCH_PR8.baseline.txt BENCH_PR8.current.txt 2>/dev/null) >"$SECTIONS"
+' $(ls BENCH_PR9.baseline.txt BENCH_PR9.current.txt 2>/dev/null) >"$SECTIONS"
 
-# Merge the fresh sections into BENCH_PR8.json, preserving any "serving"
-# record the load harness wrote there (scripts/benchjson).
-go run ./scripts/benchjson BENCH_PR8.json "$SECTIONS"
+# Merge the fresh sections into BENCH_PR9.json, preserving the records
+# other harnesses wrote there ("serving", "fig6" — scripts/benchjson).
+go run ./scripts/benchjson BENCH_PR9.json "$SECTIONS"
 
 if [ "$SERVING" = 1 ]; then
-    go run ./cmd/bltcd -loadtest -out BENCH_PR8.json
+    go run ./cmd/bltcd -loadtest -out BENCH_PR9.json
+fi
+
+if [ "$FIG6" = 1 ]; then
+    # The paper's full rank range (1-32) at paper-scale/256 sizes: the
+    # strong-scaling limit (~2k particles per rank at 32 ranks on the
+    # smaller size) is where the Fig. 6(c,d) setup-share crossover
+    # actually appears in the model, which is the phenomenon the record
+    # exists to track. At larger sizes per rank the sweep stays
+    # compute-dominated throughout and the crossover is degenerate.
+    FIG6OUT=$(mktemp)
+    go run ./cmd/fig6 -scale 256 -maxgpus 32 -quiet -json "$FIG6OUT"
+    go run ./scripts/benchjson BENCH_PR9.json "$FIG6OUT"
+    rm -f "$FIG6OUT"
 fi
 
 if [ "$REGEN" = 1 ]; then
-    echo "regenerated BENCH_PR8.json"
+    echo "regenerated BENCH_PR9.json"
 else
-    echo "wrote BENCH_PR8.$SECTION.txt and BENCH_PR8.json"
+    echo "wrote BENCH_PR9.$SECTION.txt and BENCH_PR9.json"
 fi

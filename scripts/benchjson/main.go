@@ -1,14 +1,16 @@
 // Command benchjson merges freshly regenerated benchmark sections into a
-// BENCH json without losing the load harness's "serving" record.
+// BENCH json without losing the records other harnesses wrote there.
 //
-//	benchjson BENCH_PR6.json new-sections.json
+//	benchjson BENCH_PR9.json new-sections.json
 //
-// reads the existing BENCH json (if any), keeps only its "serving" key,
-// overlays every key from new-sections.json (the awk output of
-// scripts/bench.sh: baseline/current/speedup_ns), and rewrites the target
-// with sorted keys and stable indentation — the same layout `bltcd
-// -loadtest -out` produces, so the two writers can alternate without
-// reformatting churn.
+// reads the existing BENCH json (if any), overlays every key from
+// new-sections.json (the awk output of scripts/bench.sh:
+// baseline/current/speedup_ns — always all three, null when a side's
+// text file is missing — or a {"fig6": ...} file from cmd/fig6 -json),
+// keeps every other key untouched (e.g. the bltcd load harness's
+// "serving" record), and rewrites the target with sorted keys and
+// stable indentation — the same layout `bltcd -loadtest -out`
+// produces, so the writers can alternate without reformatting churn.
 package main
 
 import (
@@ -28,11 +30,8 @@ func main() {
 
 	doc := make(map[string]json.RawMessage)
 	if raw, err := os.ReadFile(target); err == nil {
-		old := make(map[string]json.RawMessage)
-		if err := json.Unmarshal(raw, &old); err == nil {
-			if s, ok := old["serving"]; ok {
-				doc["serving"] = s
-			}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			doc = make(map[string]json.RawMessage)
 		}
 	}
 
