@@ -16,6 +16,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"barytree"
@@ -396,6 +398,32 @@ func BenchmarkComputePhase50k(b *testing.B) {
 	}
 }
 
+// BenchmarkComputePhase50kParallel is the multi-core scaling curve of the
+// compute phase: the same prebuilt plan as BenchmarkComputePhase50k,
+// evaluated at every power-of-two worker count up to the machine's core
+// count. workers=1 should match the serial benchmark (it is the same
+// code path through one pool worker); the ratio between successive
+// entries is the parallel efficiency of the batch/leaf partition.
+func BenchmarkComputePhase50kParallel(b *testing.B) {
+	pts := barytree.UniformCube(50_000, 3)
+	p := core.Params{Theta: 0.8, Degree: 6, LeafSize: 1000, BatchSize: 1000}
+	pl, err := core.NewPlan(pts, pts, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl.Clusters.ComputeCharges(pl.Sources, 0)
+	phi := make([]float64, pts.Len())
+	for workers := 1; workers <= runtime.NumCPU(); workers *= 2 {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clear(phi)
+				core.RunComputeOnlyWorkers(pl, kernel.Coulomb{}, phi, workers)
+			}
+		})
+	}
+}
+
 func BenchmarkTreecodeDevice50k(b *testing.B) {
 	pts := barytree.UniformCube(50_000, 3)
 	p := barytree.Params{Theta: 0.8, Degree: 6, LeafSize: 1000, BatchSize: 1000}
@@ -469,7 +497,10 @@ func BenchmarkDeviceSimulatorDrain(b *testing.B) {
 // batch/leaf direct-sum inner loop. "iface" dispatches through
 // kernel.Kernel per source (the pre-block-path code, reproduced here via
 // the generic adapter around kernel.Func); "block" is the specialized
-// loop the treecode now runs.
+// loop the treecode now runs. Every iteration evaluates the same target:
+// cycling `i % tg.Len()` through distinct targets made ns/op depend on
+// which targets a given b.N landed on (their distances to the block
+// differ), which read as run-to-run noise in the tracked record.
 func BenchmarkEvalDirectBlock(b *testing.B) {
 	const nSrc = 2000
 	src := barytree.UniformCube(nSrc, 11)
@@ -487,16 +518,14 @@ func BenchmarkEvalDirectBlock(b *testing.B) {
 		b.Run(k.Name()+"/iface", func(b *testing.B) {
 			var sink float64
 			for i := 0; i < b.N; i++ {
-				ti := i % tg.Len()
-				sink += iface.EvalBlockAccum(tg.X[ti], tg.Y[ti], tg.Z[ti], src.X, src.Y, src.Z, src.Q)
+				sink += iface.EvalBlockAccum(tg.X[0], tg.Y[0], tg.Z[0], src.X, src.Y, src.Z, src.Q)
 			}
 			benchSink = sink
 		})
 		b.Run(k.Name()+"/block", func(b *testing.B) {
 			var sink float64
 			for i := 0; i < b.N; i++ {
-				ti := i % tg.Len()
-				sink += block.EvalBlockAccum(tg.X[ti], tg.Y[ti], tg.Z[ti], src.X, src.Y, src.Z, src.Q)
+				sink += block.EvalBlockAccum(tg.X[0], tg.Y[0], tg.Z[0], src.X, src.Y, src.Z, src.Q)
 			}
 			benchSink = sink
 		})

@@ -30,3 +30,25 @@ func accumulate(sx, q, scratch []float64) float64 {
 func helper(n int) []float64 {
 	return make([]float64, n)
 }
+
+// tileCascade is the shape of the new register-blocked drivers
+// (direct.sumRange, core.evalBatchLists): fixed-size tile arrays live on
+// the stack — no make — and the wide tile arrives as a function value
+// resolved once by the caller, invoked per tile. Neither the arrays nor
+// the indirect call may trip the analyzer.
+//
+//hot:path
+func tileCascade(t8 func(tx *[8]float64, phi *[8]float64), xs, phi []float64) {
+	var tx, acc [8]float64
+	i := 0
+	for ; i+8 <= len(xs); i += 8 {
+		for l := 0; l < 8; l++ {
+			tx[l] = xs[i+l]
+			acc[l] = 0
+		}
+		t8(&tx, &acc)
+		for l := 0; l < 8; l++ {
+			phi[i+l] = acc[l]
+		}
+	}
+}

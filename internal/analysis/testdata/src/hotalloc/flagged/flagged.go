@@ -46,3 +46,15 @@ func suppressed(n int) []float64 {
 	//lint:ignore hotalloc one-time reserve, amortized across the run
 	return make([]float64, n)
 }
+
+// tileCascadeAlloc is the broken variant of the register-blocked driver
+// shape: gathering the tile into a fresh slice per iteration instead of
+// a stack array.
+//
+//hot:path
+func tileCascadeAlloc(t8 func(tx []float64, phi []float64), xs, phi []float64) {
+	for i := 0; i+8 <= len(xs); i += 8 {
+		tx := make([]float64, 8) // want "make in //hot:path function tileCascadeAlloc"
+		t8(tx, phi[i:i+8])
+	}
+}

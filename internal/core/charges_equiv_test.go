@@ -96,7 +96,12 @@ func TestComputeChargesMatchesReference(t *testing.T) {
 // guarantee: running the full treecode through a built-in kernel (which
 // resolves to its specialized block loops) produces bit-identical
 // potentials to the same kernel hidden behind kernel.Func (which resolves
-// to the generic adapter, the per-source scalar loop).
+// to the generic adapter, the per-source scalar loop). The one exception
+// is a kernel whose installed assembly tile carries a measured-ULP
+// contract instead of bit-identity (Yukawa's vectorized exp): there the
+// installed run is checked against the contract's tolerance, and an extra
+// pass with the assembly kernels switched off pins that the pure-Go
+// specialization is still exactly bit-identical.
 func TestBlockPathBitIdenticalToScalar(t *testing.T) {
 	targets := testParticles(t, 3000, 5)
 	sources := testParticles(t, 3000, 6)
@@ -110,24 +115,32 @@ func TestBlockPathBitIdenticalToScalar(t *testing.T) {
 		kernel.InversePower{P: 3},
 	} {
 		t.Run(k.Name(), func(t *testing.T) {
-			pl, err := NewPlan(targets, sources, p)
-			if err != nil {
-				t.Fatal(err)
-			}
-			fast := RunCPU(pl, k, CPUOptions{})
-
-			pl2, err := NewPlan(targets, sources, p)
-			if err != nil {
-				t.Fatal(err)
-			}
-			wrapped := kernel.Func{KernelName: k.Name() + "-scalar", F: k.Eval}
-			slow := RunCPU(pl2, wrapped, CPUOptions{})
-
-			for i := range fast.Phi {
-				if fast.Phi[i] != slow.Phi[i] {
-					t.Fatalf("target %d: block path %v != scalar path %v (diff %g)",
-						i, fast.Phi[i], slow.Phi[i], fast.Phi[i]-slow.Phi[i])
+			run := func() (*Plan, *Result, *Result) {
+				pl, err := NewPlan(targets, sources, p)
+				if err != nil {
+					t.Fatal(err)
 				}
+				fast := RunCPU(pl, k, CPUOptions{})
+
+				pl2, err := NewPlan(targets, sources, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wrapped := kernel.Func{KernelName: k.Name() + "-scalar", F: k.Eval}
+				slow := RunCPU(pl2, wrapped, CPUOptions{})
+				return pl, fast, slow
+			}
+
+			pl, fast, slow := run()
+			checkSolvePhi(t, "installed", pl, k, fast.Phi, slow.Phi)
+
+			if kernel.TileMaxULP(k) != 0 {
+				// The installed tile is only ULP-close; re-pin exactness
+				// on the pure-Go specialization.
+				prev := kernel.SetAsmKernels(false)
+				defer kernel.SetAsmKernels(prev)
+				_, fast, slow = run()
+				checkSolvePhi(t, "pure-go", pl, k, fast.Phi, slow.Phi)
 			}
 		})
 	}

@@ -66,9 +66,10 @@ func RunCPU(pl *Plan, k kernel.Kernel, opt CPUOptions) *Result {
 	// is resolved once here; every inner loop below it is devirtualized.
 	start = time.Now()
 	tk := kernel.AsTile(k)
+	t8 := kernel.Tile8(k)
 	phiBatch := make([]float64, pl.Batches.Targets.Len())
 	pool.For(len(pl.Batches.Batches), opt.Workers, func(bi int) {
-		evalBatchLists(pl, tk, bi, phiBatch, pl.Sources.Particles.Q, pl.Clusters.Qhat)
+		evalBatchLists(pl, tk, t8, bi, phiBatch, pl.Sources.Particles.Q, pl.Clusters.Qhat)
 	})
 	res.Wall[perfmodel.PhaseCompute] = time.Since(start).Seconds()
 	res.Times[perfmodel.PhaseCompute] = computeFlops(pl.Lists.Stats, k, kernel.ArchCPU) / rate
@@ -85,21 +86,33 @@ func RunCPU(pl *Plan, k kernel.Kernel, opt CPUOptions) *Result {
 // path used by the Solver facade (boundary-integral iterations update
 // charges, not geometry). It returns the modeled compute-phase flop count.
 func RunComputeOnly(pl *Plan, k kernel.Kernel, phi []float64) float64 {
+	return RunComputeOnlyWorkers(pl, k, phi, 0)
+}
+
+// RunComputeOnlyWorkers is RunComputeOnly with an explicit worker count
+// (<= 0 selects GOMAXPROCS; 1 is serial). It is the multi-core scaling
+// probe the compute-phase benchmarks sweep.
+func RunComputeOnlyWorkers(pl *Plan, k kernel.Kernel, phi []float64, workers int) float64 {
 	tk := kernel.AsTile(k)
-	pool.For(len(pl.Batches.Batches), 0, func(bi int) {
-		evalBatchLists(pl, tk, bi, phi, pl.Sources.Particles.Q, pl.Clusters.Qhat)
+	t8 := kernel.Tile8(k)
+	pool.For(len(pl.Batches.Batches), workers, func(bi int) {
+		evalBatchLists(pl, tk, t8, bi, phi, pl.Sources.Particles.Q, pl.Clusters.Qhat)
 	})
 	return computeFlops(pl.Lists.Stats, k, kernel.ArchCPU)
 }
 
 // evalBatchLists accumulates batch bi's full interaction list into phi
-// (batch target order) through the tiled fast path: TileWidth targets walk
-// the whole list together so each source block streams from memory once
-// per tile instead of once per target. Per target the adds still land in
-// list order — the TileKernel contract adds exactly one block total per
-// list entry — and the accumulators are seeded from and stored back to
-// phi, so the result is bit-identical to the single-target block path.
-// Targets past the last full tile take the single-target epilogue.
+// (batch target order) through the tiled fast path: a register-width group
+// of targets walks the whole list together so each source block streams
+// from memory once per tile instead of once per target. Per target the
+// adds still land in list order — the tile contracts add exactly one block
+// total per list entry — and the accumulators are seeded from and stored
+// back to phi, so the result is bit-identical to the single-target block
+// path (up to each kernel's documented tile ULP contract). The cascade is
+// 8 → 4 → 1: when the kernel has a register-blocked Tile8Width tile
+// (t8 != nil), full 8-target groups take it first; remaining targets take
+// TileWidth tiles; the last <TileWidth targets take the single-target
+// epilogue.
 //
 // q and qhat supply the source charges (tree order) and per-node modified
 // charges: the plan's own (RunCPU, RunComputeOnly) or a per-request
@@ -108,15 +121,30 @@ func RunComputeOnly(pl *Plan, k kernel.Kernel, phi []float64) float64 {
 // disjoint phi are safe.
 //
 //hot:path
-func evalBatchLists(pl *Plan, tk kernel.TileKernel, bi int, phi, q []float64, qhat [][]float64) {
+func evalBatchLists(pl *Plan, tk kernel.TileKernel, t8 kernel.Tile8Func, bi int, phi, q []float64, qhat [][]float64) {
 	b := &pl.Batches.Batches[bi]
 	tg := pl.Batches.Targets
 	src := pl.Sources.Particles
 	cd := pl.Clusters
 	direct, approx := pl.Lists.Direct[bi], pl.Lists.Approx[bi]
 
-	var t TargetTile
 	ti := b.Lo
+	if t8 != nil {
+		var t80 TargetTile8
+		for ; ti+kernel.Tile8Width <= b.Hi; ti += kernel.Tile8Width {
+			t80.LoadParticles(tg, ti)
+			t80.LoadPotentials(phi, ti)
+			for _, ci := range direct {
+				nd := &pl.Sources.Nodes[ci]
+				EvalDirectTile8BlockQ(t8, &t80, src, q, nd.Lo, nd.Hi)
+			}
+			for _, ci := range approx {
+				EvalApproxTile8Block(t8, &t80, cd.PX[ci], cd.PY[ci], cd.PZ[ci], qhat[ci])
+			}
+			t80.Store(phi, ti)
+		}
+	}
+	var t TargetTile
 	for ; ti+kernel.TileWidth <= b.Hi; ti += kernel.TileWidth {
 		t.LoadParticles(tg, ti)
 		t.LoadPotentials(phi, ti)

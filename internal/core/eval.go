@@ -170,20 +170,79 @@ func EvalDirectTileBlockQ(tk kernel.TileKernel, t *TargetTile, src *particle.Set
 		src.X[cLo:cHi], src.Y[cLo:cHi], src.Z[cLo:cHi], q[cLo:cHi], &t.Acc)
 }
 
-// TargetTileF32 is the single-precision tile state: float32 coordinates
-// (rounded once at load, exactly as the single-target F32 drivers round
-// the target) and float32 accumulators.
-type TargetTileF32 struct {
-	TX, TY, TZ [kernel.TileWidth]float32
-	Acc        [kernel.TileWidth]float32
+// TargetTile8 is the working state of the width-8 register-blocked fp64
+// main loop: same contract as TargetTile at kernel.Tile8Width. The
+// drivers use it only for kernels whose kernel.Tile8 resolves non-nil;
+// because an 8-wide tile of an exact kernel is bit-identical to two
+// 4-wide tiles of the same targets, running the width-8 loop first and
+// falling back to width-4 and single-target epilogues changes no bits.
+type TargetTile8 struct {
+	TX, TY, TZ [kernel.Tile8Width]float64
+	Acc        [kernel.Tile8Width]float64
 }
 
-// LoadParticles gathers targets [ti, ti+TileWidth), rounding coordinates
-// to float32, and zeroes the accumulators.
+// LoadParticles gathers the coordinates of targets [ti, ti+Tile8Width)
+// and zeroes the accumulators.
+//
+//hot:path
+func (t *TargetTile8) LoadParticles(tg *particle.Set, ti int) {
+	for l := 0; l < kernel.Tile8Width; l++ {
+		t.TX[l] = tg.X[ti+l]
+		t.TY[l] = tg.Y[ti+l]
+		t.TZ[l] = tg.Z[ti+l]
+		t.Acc[l] = 0
+	}
+}
+
+// LoadPotentials seeds the accumulators from phi[ti:].
+//
+//hot:path
+func (t *TargetTile8) LoadPotentials(phi []float64, ti int) {
+	for l := 0; l < kernel.Tile8Width; l++ {
+		t.Acc[l] = phi[ti+l]
+	}
+}
+
+// Store writes the accumulators back to phi[ti:].
+//
+//hot:path
+func (t *TargetTile8) Store(phi []float64, ti int) {
+	for l := 0; l < kernel.Tile8Width; l++ {
+		phi[ti+l] = t.Acc[l]
+	}
+}
+
+// EvalDirectTile8BlockQ is EvalDirectTileBlockQ at Tile8Width, through a
+// resolved kernel.Tile8 loop.
+//
+//hot:path
+func EvalDirectTile8BlockQ(t8 kernel.Tile8Func, t *TargetTile8, src *particle.Set, q []float64, cLo, cHi int) {
+	t8(&t.TX, &t.TY, &t.TZ,
+		src.X[cLo:cHi], src.Y[cLo:cHi], src.Z[cLo:cHi], q[cLo:cHi], &t.Acc)
+}
+
+// EvalApproxTile8Block is EvalApproxTileBlock at Tile8Width.
+//
+//hot:path
+func EvalApproxTile8Block(t8 kernel.Tile8Func, t *TargetTile8, px, py, pz, qhat []float64) {
+	t8(&t.TX, &t.TY, &t.TZ, px, py, pz, qhat, &t.Acc)
+}
+
+// TargetTileF32 is the single-precision tile state: float32 coordinates
+// (rounded once at load, exactly as the single-target F32 drivers round
+// the target) and float32 accumulators, at the eight-lane
+// kernel.F32TileWidth.
+type TargetTileF32 struct {
+	TX, TY, TZ [kernel.F32TileWidth]float32
+	Acc        [kernel.F32TileWidth]float32
+}
+
+// LoadParticles gathers targets [ti, ti+F32TileWidth), rounding
+// coordinates to float32, and zeroes the accumulators.
 //
 //hot:path
 func (t *TargetTileF32) LoadParticles(tg *particle.Set, ti int) {
-	for l := 0; l < kernel.TileWidth; l++ {
+	for l := 0; l < kernel.F32TileWidth; l++ {
 		t.TX[l] = float32(tg.X[ti+l])
 		t.TY[l] = float32(tg.Y[ti+l])
 		t.TZ[l] = float32(tg.Z[ti+l])

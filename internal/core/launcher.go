@@ -123,16 +123,23 @@ func (l *Launcher) LaunchDirect(tg *particle.Set, bLo, nb int, src *particle.Set
 		tk := l.tk
 		f32t := l.f32t
 		prec := l.Precision
-		nTiles := nb / kernel.TileWidth
-		fnGrid = nTiles + nb%kernel.TileWidth
+		// The host tile width is per precision: fp32 tiles are
+		// F32TileWidth lanes wide, fp64 tiles TileWidth. The modeled spec
+		// (grid nb) is unchanged either way.
+		tw := kernel.TileWidth
+		if prec == device.FP32 {
+			tw = kernel.F32TileWidth
+		}
+		nTiles := nb / tw
+		fnGrid = nTiles + nb%tw
 		fn = func(block int) {
 			if block < nTiles {
-				ti := bLo + block*kernel.TileWidth
+				ti := bLo + block*tw
 				if prec == device.FP32 {
 					var t TargetTileF32
 					t.LoadParticles(tg, ti)
 					EvalDirectTileBlockF32(f32t, &t, src, cLo, cHi)
-					for lane := 0; lane < kernel.TileWidth; lane++ {
+					for lane := 0; lane < kernel.F32TileWidth; lane++ {
 						phi.Add(ti+lane, float64(t.Acc[lane]))
 					}
 				} else {
@@ -145,7 +152,7 @@ func (l *Launcher) LaunchDirect(tg *particle.Set, bLo, nb int, src *particle.Set
 				}
 				return
 			}
-			ti := bLo + nTiles*kernel.TileWidth + (block - nTiles)
+			ti := bLo + nTiles*tw + (block - nTiles)
 			var v float64
 			if prec == device.FP32 {
 				v = EvalDirectTargetBlockF32(f32t, tg, ti, src, cLo, cHi)
@@ -171,16 +178,20 @@ func (l *Launcher) LaunchApprox(tg *particle.Set, bLo, nb int, px, py, pz, qhat 
 		tk := l.tk
 		f32t := l.f32t
 		prec := l.Precision
-		nTiles := nb / kernel.TileWidth
-		fnGrid = nTiles + nb%kernel.TileWidth
+		tw := kernel.TileWidth
+		if prec == device.FP32 {
+			tw = kernel.F32TileWidth
+		}
+		nTiles := nb / tw
+		fnGrid = nTiles + nb%tw
 		fn = func(block int) {
 			if block < nTiles {
-				ti := bLo + block*kernel.TileWidth
+				ti := bLo + block*tw
 				if prec == device.FP32 {
 					var t TargetTileF32
 					t.LoadParticles(tg, ti)
 					EvalApproxTileBlockF32(f32t, &t, px, py, pz, qhat)
-					for lane := 0; lane < kernel.TileWidth; lane++ {
+					for lane := 0; lane < kernel.F32TileWidth; lane++ {
 						phi.Add(ti+lane, float64(t.Acc[lane]))
 					}
 				} else {
@@ -193,7 +204,7 @@ func (l *Launcher) LaunchApprox(tg *particle.Set, bLo, nb int, px, py, pz, qhat 
 				}
 				return
 			}
-			ti := bLo + nTiles*kernel.TileWidth + (block - nTiles)
+			ti := bLo + nTiles*tw + (block - nTiles)
 			var v float64
 			if prec == device.FP32 {
 				v = EvalApproxTargetBlockF32(f32t, tg, ti, px, py, pz, qhat)

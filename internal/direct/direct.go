@@ -5,12 +5,15 @@
 // evaluation for error measurement at large N (Section 4 samples the error
 // at a random subset of targets for systems of 8M particles and up).
 //
-// All evaluators resolve the kernel's tiled fast path (kernel.AsTile) once
-// per call and evaluate kernel.TileWidth targets per dispatch, so the
-// O(N^2) inner loop streams the source arrays once per target tile and
-// pays one dynamic dispatch per tile, not per pairwise interaction. Each
-// target's potential is accumulated from zero in source order either way,
-// so the tiling is bit-identical to the per-target block path.
+// All evaluators resolve the kernel's tiled fast path (kernel.AsTile, and
+// the register-blocked kernel.Tile8 when the kernel has one) once per call
+// and evaluate a tile of targets per dispatch, so the O(N^2) inner loop
+// streams the source arrays once per target tile and pays one dynamic
+// dispatch per tile, not per pairwise interaction. Each target's potential
+// is accumulated from zero in source order either way, so the tiling is
+// bit-identical to the per-target block path for exact kernels; kernels
+// whose installed tile carries a measured-ULP contract (kernel.TileMaxULP
+// > 0, e.g. the vectorized Yukawa exp) match it within that contract.
 package direct
 
 import (
@@ -24,8 +27,9 @@ import (
 // excluded by the kernel convention G(x,x) = 0.
 func Sum(k kernel.Kernel, targets, sources *particle.Set) []float64 {
 	tk := kernel.AsTile(k)
+	t8 := kernel.Tile8(k)
 	phi := make([]float64, targets.Len())
-	sumRange(tk, targets, sources, phi, 0, len(phi))
+	sumRange(tk, t8, targets, sources, phi, 0, len(phi))
 	return phi
 }
 
@@ -35,9 +39,10 @@ func Sum(k kernel.Kernel, targets, sources *particle.Set) []float64 {
 // within it, so no synchronization on phi is needed.
 func SumParallel(k kernel.Kernel, targets, sources *particle.Set, workers int) []float64 {
 	tk := kernel.AsTile(k)
+	t8 := kernel.Tile8(k)
 	phi := make([]float64, targets.Len())
 	pool.Blocks(len(phi), workers, func(_, lo, hi int) {
-		sumRange(tk, targets, sources, phi, lo, hi)
+		sumRange(tk, t8, targets, sources, phi, lo, hi)
 	})
 	return phi
 }
@@ -73,13 +78,29 @@ func SumAt(k kernel.Kernel, targets *particle.Set, sample []int, sources *partic
 }
 
 // sumRange fills phi[lo:hi] with the potentials of targets [lo, hi)
-// against all sources: full tiles through the tiled fast path, the ragged
-// tail through the single-target block path.
+// against all sources: Tile8Width register-blocked tiles first when the
+// kernel has them, then TileWidth tiles, then the ragged tail through the
+// single-target block path.
 //
 //hot:path
-func sumRange(tk kernel.TileKernel, targets, sources *particle.Set, phi []float64, lo, hi int) {
-	var tx, ty, tz, acc [kernel.TileWidth]float64
+func sumRange(tk kernel.TileKernel, t8 kernel.Tile8Func, targets, sources *particle.Set, phi []float64, lo, hi int) {
 	i := lo
+	if t8 != nil {
+		var tx8, ty8, tz8, acc8 [kernel.Tile8Width]float64
+		for ; i+kernel.Tile8Width <= hi; i += kernel.Tile8Width {
+			for l := 0; l < kernel.Tile8Width; l++ {
+				tx8[l] = targets.X[i+l]
+				ty8[l] = targets.Y[i+l]
+				tz8[l] = targets.Z[i+l]
+				acc8[l] = 0
+			}
+			t8(&tx8, &ty8, &tz8, sources.X, sources.Y, sources.Z, sources.Q, &acc8)
+			for l := 0; l < kernel.Tile8Width; l++ {
+				phi[i+l] = acc8[l]
+			}
+		}
+	}
+	var tx, ty, tz, acc [kernel.TileWidth]float64
 	for ; i+kernel.TileWidth <= hi; i += kernel.TileWidth {
 		for l := 0; l < kernel.TileWidth; l++ {
 			tx[l] = targets.X[i+l]

@@ -7,6 +7,20 @@ import "math"
 // ragged batch edges with single-target block-path epilogues.
 const TileWidth = 4
 
+// Tile8Width is the width of the register-blocked fp64 tile fast path:
+// kernels for which Tile8 resolves non-nil evaluate eight targets per
+// source stream. The drivers treat the width as a per-kernel dispatch
+// property — a width-8 main loop when available, then the width-4
+// TileKernel loop, then single-target epilogues — so kernels without an
+// 8-wide implementation lose nothing.
+const Tile8Width = 8
+
+// F32TileWidth is the number of targets a single-precision tile evaluates
+// together. fp32 lanes are half as wide as fp64 lanes, so the same 256-bit
+// vector holds eight float32 targets (the __m256 SoA layout): the fp32
+// tile contract, drivers and assembly are all 8-wide.
+const F32TileWidth = 8
+
 // TileKernel is the target-tiled block-evaluation fast path: one call
 // evaluates a whole block of sources against a *tile* of TileWidth targets,
 // accumulating each target's charge-weighted potential into phi:
@@ -41,13 +55,43 @@ type TileKernel interface {
 // and charges arrive as the float64 storage arrays and are rounded per
 // element; per target the contract mirrors EvalBlockAccumF32:
 //
-//	for t := 0; t < TileWidth; t++ {
+//	for t := 0; t < F32TileWidth; t++ {
 //		phi[t] += k.EvalBlockAccumF32(tx[t], ty[t], tz[t], sx, sy, sz, q)
 //	}
+//
+// As with TileKernel, the per-target chains may be interleaved but not
+// reordered, and exact kernels must stay bit-identical to that reference;
+// transcendental kernels are covered by the F32TileMaxULP contract.
 type F32TileKernel interface {
 	F32BlockKernel
-	EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32)
+	EvalTileAccumF32(tx, ty, tz *[F32TileWidth]float32, sx, sy, sz, q []float64, phi *[F32TileWidth]float32)
 }
+
+// Tile8Func evaluates a source block against an 8-target fp64 tile under
+// the same contract as TileKernel.EvalTileAccum, at Tile8Width. len(q)
+// must be positive.
+type Tile8Func func(tx, ty, tz *[Tile8Width]float64, sx, sy, sz, q []float64, phi *[Tile8Width]float64)
+
+// Tile8 resolves the register-blocked 8-wide fp64 tile fast path for k,
+// or nil when k has none (non-amd64 builds, CPUs without the required
+// features, kernels without an 8-wide loop, or asm kernels disabled via
+// SetAsmKernels). There is deliberately no pure-Go 8-wide fallback: for
+// exact kernels a width-8 tile is bit-identical to two width-4 tiles of
+// the same targets — regrouping targets cannot change any target's
+// chain — so the Go TileKernel loop already *is* the 8-wide reference,
+// and the drivers simply skip the width-8 pass when Tile8 returns nil.
+// Resolve once per run, outside the hot loops.
+func Tile8(k Kernel) Tile8Func {
+	switch k.(type) {
+	case Coulomb:
+		return coulombTile8Loop
+	}
+	return nil
+}
+
+// coulombTile8Loop, when non-nil, is the register-blocked 8-target Coulomb
+// tile: two 4-lane groups sharing each source's broadcasts (tile_amd64.s).
+var coulombTile8Loop Tile8Func
 
 // AsTile resolves the tile fast path for k: kernels implementing
 // TileKernel (all built-ins) are returned unchanged; any other Kernel —
@@ -95,8 +139,8 @@ type f32TileAdapter struct {
 // EvalTileAccumF32 implements F32TileKernel.
 //
 //hot:path
-func (a f32TileAdapter) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32) {
-	for t := 0; t < TileWidth; t++ {
+func (a f32TileAdapter) EvalTileAccumF32(tx, ty, tz *[F32TileWidth]float32, sx, sy, sz, q []float64, phi *[F32TileWidth]float32) {
+	for t := 0; t < F32TileWidth; t++ {
 		phi[t] += a.F32BlockKernel.EvalBlockAccumF32(tx[t], ty[t], tz[t], sx, sy, sz, q)
 	}
 }
@@ -168,10 +212,78 @@ func (Coulomb) EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []flo
 	phi[3] += p3
 }
 
+// yukawaTileLoop, when non-nil, evaluates a whole Yukawa tile with the
+// exp computed by a range-reduced polynomial on the FMA ports
+// (tile_amd64.s). Unlike the Coulomb loops it is NOT bit-identical to
+// the scalar chains: the polynomial and math.Exp are different faithful
+// approximations, so the tile carries the measured-ULP contract below
+// (YukawaTileMaxULP) instead of the exact `==` contract. negKappa is
+// -k.Kappa, so the vector (-kappa)*r product matches the scalar's bits.
+var yukawaTileLoop func(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, negKappa float64, phi *[TileWidth]float64)
+
+// Accuracy contract for the vectorized tiles, per kernel:
+//
+//   - An exact kernel's tile paths are bit-identical to the per-target
+//     scalar reference (the TileKernel contract) — TileMaxULP reports 0
+//     and the tests compare with `==`.
+//   - A transcendental kernel whose vector path approximates exp/log/...
+//     differently from math.* cannot be exact; it instead pins a measured
+//     per-pairwise-term ULP bound. TileMaxULP reports that bound, and the
+//     tests check |tile - scalar| against it (scaled by the sum of
+//     absolute terms for multi-source blocks, since per-term errors
+//     accumulate additively at worst).
+//
+// The bounds are constants, not knobs: they were measured over the fuzz
+// corpus and the full [-745, 710] exp argument range with margin, and
+// TestYukawaTileULPContract fails if the implementation ever drifts past
+// them, exactly as the bit-identity tests fail on a single flipped bit.
+const (
+	// YukawaTileMaxULP bounds |yukawaTileLoop - scalar| for one pairwise
+	// Yukawa term, in fp64 ulps of the scalar term. EXPPD's error budget:
+	// ~2.2 ulp from the polynomial + reduction, ~0.5 from each scale
+	// multiply, ~0.5 from the division, against math.Exp's own ~1 ulp —
+	// measured max over the fuzz corpus is 4 ulp; 6 leaves margin without
+	// weakening the contract below observability.
+	YukawaTileMaxULP = 6
+
+	// YukawaTileF32MaxULP bounds the fp32 Yukawa tile's per-term error in
+	// float32 ulps. The fp64 exp error above narrows to <= 1 ulp32 almost
+	// everywhere; 3 covers the narrowing+division double rounding worst
+	// case observed under fuzzing (max seen: 2).
+	YukawaTileF32MaxULP = 3
+)
+
+// TileMaxULP reports the accuracy contract of k's vectorized fp64 tile
+// paths against the scalar per-target reference: 0 means every installed
+// vector path is bit-identical (`==`), n > 0 means pairwise terms may
+// differ by up to n ulps (transcendental kernels whose vector exp is not
+// math.Exp). Kernels currently running pure-Go tile loops are exact by
+// construction. The result reflects the loops installed right now, so it
+// follows SetAsmKernels.
+func TileMaxULP(k Kernel) int {
+	if _, ok := k.(Yukawa); ok && yukawaTileLoop != nil {
+		return YukawaTileMaxULP
+	}
+	return 0
+}
+
+// F32TileMaxULP is TileMaxULP for the single-precision tile paths, in
+// float32 ulps.
+func F32TileMaxULP(k F32Kernel) int {
+	if _, ok := k.(Yukawa); ok && yukawaTileF32Loop != nil {
+		return YukawaTileF32MaxULP
+	}
+	return 0
+}
+
 // EvalTileAccum implements TileKernel.
 //
 //hot:path
 func (k Yukawa) EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz, q []float64, phi *[TileWidth]float64) {
+	if yukawaTileLoop != nil && len(q) > 0 {
+		yukawaTileLoop(tx, ty, tz, sx, sy, sz, q, -k.Kappa, phi)
+		return
+	}
 	// Hoist the slice bounds: one check here instead of three per source.
 	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
 	kappa := k.Kappa
@@ -352,18 +464,39 @@ func (ip InversePower) EvalTileAccum(tx, ty, tz *[TileWidth]float64, sx, sy, sz,
 	phi[3] += p3
 }
 
-// --- Hand-specialized fp32 tile loops for the built-in F32 kernels.
+// --- Hand-specialized fp32 tile loops for the built-in F32 kernels, at
+// the eight-lane F32TileWidth.
+
+// coulombTileF32Loop, when non-nil, evaluates a whole fp32 Coulomb tile
+// with the eight targets packed across float32 SIMD lanes. It is
+// bit-identical to the scalar chains below: the per-element float32
+// roundings of the source arrays, the fp32 distance math, the
+// double-rounding-innocuous fp32 sqrt, the division and the per-lane
+// source-order accumulation all have exact vector twins (tile_amd64.s).
+var coulombTileF32Loop func(tx, ty, tz *[F32TileWidth]float32, sx, sy, sz, q []float64, phi *[F32TileWidth]float32)
+
+// yukawaTileF32Loop, when non-nil, is the fp32 Yukawa tile: exact twins
+// everywhere except the exp, which runs the fp64 EXPPD polynomial on
+// widened lanes and narrows back — the YukawaTileF32MaxULP contract.
+var yukawaTileF32Loop func(tx, ty, tz *[F32TileWidth]float32, sx, sy, sz, q []float64, negKappa float32, phi *[F32TileWidth]float32)
 
 // EvalTileAccumF32 implements F32TileKernel.
 //
 //hot:path
-func (Coulomb) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32) {
+func (Coulomb) EvalTileAccumF32(tx, ty, tz *[F32TileWidth]float32, sx, sy, sz, q []float64, phi *[F32TileWidth]float32) {
+	if coulombTileF32Loop != nil && len(q) > 0 {
+		coulombTileF32Loop(tx, ty, tz, sx, sy, sz, q, phi)
+		return
+	}
 	// Hoist the slice bounds: one check here instead of three per source.
 	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
 	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	tx4, tx5, tx6, tx7 := tx[4], tx[5], tx[6], tx[7]
 	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	ty4, ty5, ty6, ty7 := ty[4], ty[5], ty[6], ty[7]
 	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
-	var p0, p1, p2, p3 float32
+	tz4, tz5, tz6, tz7 := tz[4], tz[5], tz[6], tz[7]
+	var p0, p1, p2, p3, p4, p5, p6, p7 float32
 	for j := range q {
 		sxj, syj, szj := float32(sx[j]), float32(sy[j]), float32(sz[j])
 		qj := float32(q[j])
@@ -395,24 +528,63 @@ func (Coulomb) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []
 			g = 1 / float32(math.Sqrt(float64(r2)))
 		}
 		p3 += g * qj
+		dx, dy, dz = tx4-sxj, ty4-syj, tz4-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			g = 1 / float32(math.Sqrt(float64(r2)))
+		}
+		p4 += g * qj
+		dx, dy, dz = tx5-sxj, ty5-syj, tz5-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			g = 1 / float32(math.Sqrt(float64(r2)))
+		}
+		p5 += g * qj
+		dx, dy, dz = tx6-sxj, ty6-syj, tz6-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			g = 1 / float32(math.Sqrt(float64(r2)))
+		}
+		p6 += g * qj
+		dx, dy, dz = tx7-sxj, ty7-syj, tz7-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			g = 1 / float32(math.Sqrt(float64(r2)))
+		}
+		p7 += g * qj
 	}
 	phi[0] += p0
 	phi[1] += p1
 	phi[2] += p2
 	phi[3] += p3
+	phi[4] += p4
+	phi[5] += p5
+	phi[6] += p6
+	phi[7] += p7
 }
 
 // EvalTileAccumF32 implements F32TileKernel.
 //
 //hot:path
-func (k Yukawa) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32) {
+func (k Yukawa) EvalTileAccumF32(tx, ty, tz *[F32TileWidth]float32, sx, sy, sz, q []float64, phi *[F32TileWidth]float32) {
+	if yukawaTileF32Loop != nil && len(q) > 0 {
+		yukawaTileF32Loop(tx, ty, tz, sx, sy, sz, q, -float32(k.Kappa), phi)
+		return
+	}
 	// Hoist the slice bounds: one check here instead of three per source.
 	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
 	kappa := float32(k.Kappa)
 	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	tx4, tx5, tx6, tx7 := tx[4], tx[5], tx[6], tx[7]
 	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	ty4, ty5, ty6, ty7 := ty[4], ty[5], ty[6], ty[7]
 	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
-	var p0, p1, p2, p3 float32
+	tz4, tz5, tz6, tz7 := tz[4], tz[5], tz[6], tz[7]
+	var p0, p1, p2, p3, p4, p5, p6, p7 float32
 	for j := range q {
 		sxj, syj, szj := float32(sx[j]), float32(sy[j]), float32(sz[j])
 		qj := float32(q[j])
@@ -448,25 +620,64 @@ func (k Yukawa) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q [
 			g = float32(math.Exp(float64(-kappa*r))) / r
 		}
 		p3 += g * qj
+		dx, dy, dz = tx4-sxj, ty4-syj, tz4-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			r := float32(math.Sqrt(float64(r2)))
+			g = float32(math.Exp(float64(-kappa*r))) / r
+		}
+		p4 += g * qj
+		dx, dy, dz = tx5-sxj, ty5-syj, tz5-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			r := float32(math.Sqrt(float64(r2)))
+			g = float32(math.Exp(float64(-kappa*r))) / r
+		}
+		p5 += g * qj
+		dx, dy, dz = tx6-sxj, ty6-syj, tz6-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			r := float32(math.Sqrt(float64(r2)))
+			g = float32(math.Exp(float64(-kappa*r))) / r
+		}
+		p6 += g * qj
+		dx, dy, dz = tx7-sxj, ty7-syj, tz7-szj
+		r2 = dx*dx + dy*dy + dz*dz
+		g = 0
+		if r2 != 0 {
+			r := float32(math.Sqrt(float64(r2)))
+			g = float32(math.Exp(float64(-kappa*r))) / r
+		}
+		p7 += g * qj
 	}
 	phi[0] += p0
 	phi[1] += p1
 	phi[2] += p2
 	phi[3] += p3
+	phi[4] += p4
+	phi[5] += p5
+	phi[6] += p6
+	phi[7] += p7
 }
 
 // EvalTileAccumF32 implements F32TileKernel.
 //
 //hot:path
-func (g Gaussian) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32) {
+func (g Gaussian) EvalTileAccumF32(tx, ty, tz *[F32TileWidth]float32, sx, sy, sz, q []float64, phi *[F32TileWidth]float32) {
 	// Hoist the slice bounds: one check here instead of three per source.
 	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
 	s := float32(g.Sigma)
 	s2 := s * s
 	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	tx4, tx5, tx6, tx7 := tx[4], tx[5], tx[6], tx[7]
 	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	ty4, ty5, ty6, ty7 := ty[4], ty[5], ty[6], ty[7]
 	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
-	var p0, p1, p2, p3 float32
+	tz4, tz5, tz6, tz7 := tz[4], tz[5], tz[6], tz[7]
+	var p0, p1, p2, p3, p4, p5, p6, p7 float32
 	for j := range q {
 		sxj, syj, szj := float32(sx[j]), float32(sy[j]), float32(sz[j])
 		qj := float32(q[j])
@@ -478,25 +689,40 @@ func (g Gaussian) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q
 		p2 += float32(math.Exp(float64(-(dx*dx+dy*dy+dz*dz)/s2))) * qj
 		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
 		p3 += float32(math.Exp(float64(-(dx*dx+dy*dy+dz*dz)/s2))) * qj
+		dx, dy, dz = tx4-sxj, ty4-syj, tz4-szj
+		p4 += float32(math.Exp(float64(-(dx*dx+dy*dy+dz*dz)/s2))) * qj
+		dx, dy, dz = tx5-sxj, ty5-syj, tz5-szj
+		p5 += float32(math.Exp(float64(-(dx*dx+dy*dy+dz*dz)/s2))) * qj
+		dx, dy, dz = tx6-sxj, ty6-syj, tz6-szj
+		p6 += float32(math.Exp(float64(-(dx*dx+dy*dy+dz*dz)/s2))) * qj
+		dx, dy, dz = tx7-sxj, ty7-syj, tz7-szj
+		p7 += float32(math.Exp(float64(-(dx*dx+dy*dy+dz*dz)/s2))) * qj
 	}
 	phi[0] += p0
 	phi[1] += p1
 	phi[2] += p2
 	phi[3] += p3
+	phi[4] += p4
+	phi[5] += p5
+	phi[6] += p6
+	phi[7] += p7
 }
 
 // EvalTileAccumF32 implements F32TileKernel.
 //
 //hot:path
-func (r RegularizedCoulomb) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx, sy, sz, q []float64, phi *[TileWidth]float32) {
+func (r RegularizedCoulomb) EvalTileAccumF32(tx, ty, tz *[F32TileWidth]float32, sx, sy, sz, q []float64, phi *[F32TileWidth]float32) {
 	// Hoist the slice bounds: one check here instead of three per source.
 	sx, sy, sz = sx[:len(q)], sy[:len(q)], sz[:len(q)]
 	e := float32(r.Eps)
 	e2 := e * e
 	tx0, tx1, tx2, tx3 := tx[0], tx[1], tx[2], tx[3]
+	tx4, tx5, tx6, tx7 := tx[4], tx[5], tx[6], tx[7]
 	ty0, ty1, ty2, ty3 := ty[0], ty[1], ty[2], ty[3]
+	ty4, ty5, ty6, ty7 := ty[4], ty[5], ty[6], ty[7]
 	tz0, tz1, tz2, tz3 := tz[0], tz[1], tz[2], tz[3]
-	var p0, p1, p2, p3 float32
+	tz4, tz5, tz6, tz7 := tz[4], tz[5], tz[6], tz[7]
+	var p0, p1, p2, p3, p4, p5, p6, p7 float32
 	for j := range q {
 		sxj, syj, szj := float32(sx[j]), float32(sy[j]), float32(sz[j])
 		qj := float32(q[j])
@@ -508,9 +734,21 @@ func (r RegularizedCoulomb) EvalTileAccumF32(tx, ty, tz *[TileWidth]float32, sx,
 		p2 += 1 / float32(math.Sqrt(float64(dx*dx+dy*dy+dz*dz+e2))) * qj
 		dx, dy, dz = tx3-sxj, ty3-syj, tz3-szj
 		p3 += 1 / float32(math.Sqrt(float64(dx*dx+dy*dy+dz*dz+e2))) * qj
+		dx, dy, dz = tx4-sxj, ty4-syj, tz4-szj
+		p4 += 1 / float32(math.Sqrt(float64(dx*dx+dy*dy+dz*dz+e2))) * qj
+		dx, dy, dz = tx5-sxj, ty5-syj, tz5-szj
+		p5 += 1 / float32(math.Sqrt(float64(dx*dx+dy*dy+dz*dz+e2))) * qj
+		dx, dy, dz = tx6-sxj, ty6-syj, tz6-szj
+		p6 += 1 / float32(math.Sqrt(float64(dx*dx+dy*dy+dz*dz+e2))) * qj
+		dx, dy, dz = tx7-sxj, ty7-syj, tz7-szj
+		p7 += 1 / float32(math.Sqrt(float64(dx*dx+dy*dy+dz*dz+e2))) * qj
 	}
 	phi[0] += p0
 	phi[1] += p1
 	phi[2] += p2
 	phi[3] += p3
+	phi[4] += p4
+	phi[5] += p5
+	phi[6] += p6
+	phi[7] += p7
 }

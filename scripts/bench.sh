@@ -2,21 +2,22 @@
 # scripts/bench.sh — run the performance benchmarks tracked by this repo
 # (block-kernel micro-bench, list construction, charge pass, cluster-grid
 # layout, tree/batch build, end-to-end CPU and simulated-device treecode,
-# compute-phase-only evaluation, amortized-plan solve, served solve, the
+# compute-phase-only evaluation — serial and the multi-core scaling
+# curve — amortized-plan solve, served solve, the
 # 100k leapfrog stepping pair: Plan.Update vs rebuild-every-step, and the
 # 4-rank distributed solve on both LET-exchange schedules: serial vs
 # pipelined OverlapComm) and record the results.
 #
 # Usage:
-#   scripts/bench.sh               # record current tree -> BENCH_PR9.current.txt
-#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR9.baseline.txt
+#   scripts/bench.sh               # record current tree -> BENCH_PR10.current.txt
+#   scripts/bench.sh -baseline     # record a baseline   -> BENCH_PR10.baseline.txt
 #   scripts/bench.sh -count 5      # more repetitions (default 3)
-#   scripts/bench.sh -regen        # only rebuild BENCH_PR9.json from the
+#   scripts/bench.sh -regen        # only rebuild BENCH_PR10.json from the
 #                                  # existing text files (e.g. after appending
 #                                  # extra repetitions recorded by hand)
 #   scripts/bench.sh -serving      # also run the bltcd load harness and merge
 #                                  # its latency/throughput record into
-#                                  # BENCH_PR9.json (see scripts/load.sh)
+#                                  # BENCH_PR10.json (see scripts/load.sh)
 #   scripts/bench.sh -fig6         # also run the Fig. 6 phase sweep at the
 #                                  # paper's rank counts (up to 32 ranks,
 #                                  # 62.5k and 250k particles, Coulomb +
@@ -27,8 +28,8 @@
 #                                  # serial and pipelined schedules
 #
 # Both text files are benchstat-compatible; compare with
-#   benchstat BENCH_PR9.baseline.txt BENCH_PR9.current.txt
-# After every run the JSON summary BENCH_PR9.json is regenerated from
+#   benchstat BENCH_PR10.baseline.txt BENCH_PR10.current.txt
+# After every run the JSON summary BENCH_PR10.json is regenerated from
 # whichever text files exist: per-benchmark best-of-count ns/op, B/op and
 # allocs/op for baseline and current, plus speedup ratios where both sides
 # have the benchmark. Every repetition's ns/op is recorded in the text
@@ -37,8 +38,16 @@
 # With -serving the load harness's record rides along under the "serving"
 # key and with -fig6 the phase sweep under the "fig6" key (benchjson
 # read-merges, so all three writers coexist). See docs/performance.md.
-# The PR3-PR8 records (BENCH_PR{3,4,5,6,8}.*) are kept as history and no
+# The PR3-PR9 records (BENCH_PR{3,4,5,6,8,9}.*) are kept as history and no
 # longer regenerated.
+#
+# Baseline and current MUST be recorded in the same boot/session on the
+# same machine: the compute-phase numbers are dominated by SIMD tiles
+# whose throughput moves with the core's frequency license and with
+# neighbor load on shared (cloud) cores, so text files recorded at
+# different times compare apples to oranges. To evaluate a change, record
+# -baseline from the pre-change tree and the current tree back to back,
+# then read speedup_ns.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -77,13 +86,13 @@ while [ $# -gt 0 ]; do
     esac
 done
 
-BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k|BenchmarkPlanSolve50k|BenchmarkServeSolve20k|BenchmarkLeapfrogStep100k|BenchmarkLeapfrogStep100kRebuild|BenchmarkDistributed4Ranks|BenchmarkDistributedOverlap4Ranks)$'
+BENCH='^(BenchmarkEvalDirectBlock|BenchmarkBuildLists100k|BenchmarkModifiedCharges|BenchmarkClusterData50k|BenchmarkTreeBuild100k|BenchmarkBatchBuild100k|BenchmarkTreecodeCPU50k|BenchmarkTreecodeDevice50k|BenchmarkComputePhase50k|BenchmarkComputePhase50kParallel|BenchmarkPlanSolve50k|BenchmarkServeSolve20k|BenchmarkLeapfrogStep100k|BenchmarkLeapfrogStep100kRebuild|BenchmarkDistributed4Ranks|BenchmarkDistributedOverlap4Ranks)$'
 
 SECTIONS=$(mktemp)
 trap 'rm -f "$SECTIONS"' EXIT
 
 if [ "$REGEN" = 0 ]; then
-    go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR9.$SECTION.txt"
+    go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "BENCH_PR10.$SECTION.txt"
 fi
 
 # Regenerate the JSON summary from the recorded text files. For each
@@ -145,14 +154,14 @@ END {
     }
     printf "\n  }\n}\n"
 }
-' $(ls BENCH_PR9.baseline.txt BENCH_PR9.current.txt 2>/dev/null) >"$SECTIONS"
+' $(ls BENCH_PR10.baseline.txt BENCH_PR10.current.txt 2>/dev/null) >"$SECTIONS"
 
-# Merge the fresh sections into BENCH_PR9.json, preserving the records
+# Merge the fresh sections into BENCH_PR10.json, preserving the records
 # other harnesses wrote there ("serving", "fig6" — scripts/benchjson).
-go run ./scripts/benchjson BENCH_PR9.json "$SECTIONS"
+go run ./scripts/benchjson BENCH_PR10.json "$SECTIONS"
 
 if [ "$SERVING" = 1 ]; then
-    go run ./cmd/bltcd -loadtest -out BENCH_PR9.json
+    go run ./cmd/bltcd -loadtest -out BENCH_PR10.json
 fi
 
 if [ "$FIG6" = 1 ]; then
@@ -164,12 +173,12 @@ if [ "$FIG6" = 1 ]; then
     # compute-dominated throughout and the crossover is degenerate.
     FIG6OUT=$(mktemp)
     go run ./cmd/fig6 -scale 256 -maxgpus 32 -quiet -json "$FIG6OUT"
-    go run ./scripts/benchjson BENCH_PR9.json "$FIG6OUT"
+    go run ./scripts/benchjson BENCH_PR10.json "$FIG6OUT"
     rm -f "$FIG6OUT"
 fi
 
 if [ "$REGEN" = 1 ]; then
-    echo "regenerated BENCH_PR9.json"
+    echo "regenerated BENCH_PR10.json"
 else
-    echo "wrote BENCH_PR9.$SECTION.txt and BENCH_PR9.json"
+    echo "wrote BENCH_PR10.$SECTION.txt and BENCH_PR10.json"
 fi

@@ -1,7 +1,7 @@
 // Command benchjson merges freshly regenerated benchmark sections into a
 // BENCH json without losing the records other harnesses wrote there.
 //
-//	benchjson BENCH_PR9.json new-sections.json
+//	benchjson BENCH_PR10.json new-sections.json
 //
 // reads the existing BENCH json (if any), overlays every key from
 // new-sections.json (the awk output of scripts/bench.sh:
@@ -11,6 +11,15 @@
 // "serving" record), and rewrites the target with sorted keys and
 // stable indentation — the same layout `bltcd -loadtest -out`
 // produces, so the writers can alternate without reformatting churn.
+//
+// Every merge also refreshes a "machine" record describing the host the
+// numbers came from: the SIMD dispatch level the kernel package actually
+// installed (which decides whether the compute-phase benches ran the
+// ZMM, AVX or pure-Go tiles), the GOAMD64 microarchitecture level the
+// binary was built for, and the core count that bounds the
+// ComputePhase50kParallel curve. Records written by older harness
+// versions simply gain the key on their next merge; nothing else in the
+// document is touched.
 package main
 
 import (
@@ -18,8 +27,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+
+	"barytree/internal/kernel"
 )
+
+// machineRecord is the provenance block attached to every BENCH json.
+type machineRecord struct {
+	SIMDLevel string `json:"simd_level"` // kernel dispatch: avx512vl/avx2-fma/avx/none
+	GOAMD64   string `json:"goamd64"`    // build-time microarch level ("" = toolchain default)
+	NumCPU    int    `json:"num_cpu"`
+	GOARCH    string `json:"goarch"`
+	GoVersion string `json:"go_version"`
+}
 
 func main() {
 	if len(os.Args) != 3 {
@@ -48,6 +69,19 @@ func main() {
 	for k, v := range fresh {
 		doc[k] = v
 	}
+
+	machine, err := json.Marshal(machineRecord{
+		SIMDLevel: kernel.CPUFeatures(),
+		GOAMD64:   os.Getenv("GOAMD64"),
+		NumCPU:    runtime.NumCPU(),
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	doc["machine"] = machine
 
 	keys := make([]string, 0, len(doc))
 	for k := range doc {
